@@ -1,0 +1,50 @@
+// Ablation: hydra head-count sweep.
+//
+// §III-C argues that a hydra with more heads covers more of the keyspace
+// ("two measurement nodes with strategically placed keys should be
+// sufficient to cover almost the whole network").  This bench sweeps the
+// head count over one-day campaigns and reports the union horizon.
+#include <iostream>
+
+#include "bench_support.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace ipfs;
+  bench::print_header("ABLATION — hydra head-count sweep (1-day campaigns)",
+                      "Daniel & Tschorsch 2022, §III-C");
+
+  common::TextTable table("Union horizon vs head count");
+  table.set_header({"Heads", "Union PIDs", "Per-head (min..max)", "go-ipfs PIDs"});
+  for (const int heads : {1, 2, 3, 4}) {
+    std::cerr << "[ablation-hydra] heads=" << heads << "...\n";
+    auto period = scenario::PeriodSpec::P1();
+    period.name = "sweep";
+    period.duration = common::kDay;
+    period.hydra_heads = heads;
+    auto config = bench::make_config(period);
+    config.enable_crawler = false;
+    scenario::CampaignEngine engine(std::move(config));
+    const auto result = engine.run();
+
+    std::size_t head_min = 0;
+    std::size_t head_max = 0;
+    for (const auto& head : result.hydra_heads) {
+      const std::size_t n = head.peer_count();
+      if (head_min == 0 || n < head_min) head_min = n;
+      head_max = std::max(head_max, n);
+    }
+    table.add_row({std::to_string(heads),
+                   common::with_thousands(result.hydra_union->peer_count()),
+                   common::with_thousands(head_min) + " .. " +
+                       common::with_thousands(head_max),
+                   common::with_thousands(result.go_ipfs->peer_count())});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpected shape: the union grows with the head count with\n"
+               "diminishing returns — two heads already approach the crawler's\n"
+               "coverage in Fig. 2, matching the paper's vantage-point claim.\n";
+  return 0;
+}

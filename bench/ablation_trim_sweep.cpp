@@ -1,0 +1,57 @@
+// Ablation: connection-manager watermark sweep.
+//
+// The paper's conclusion recommends revisiting the default LowWater /
+// HighWater values for DHT servers.  This bench sweeps the vantage's
+// watermarks over a one-day campaign and reports how churn metrics react —
+// the experiment behind that recommendation.
+#include <iostream>
+
+#include "analysis/connection_stats.hpp"
+#include "bench_support.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace ipfs;
+  bench::print_header("ABLATION — watermark sweep (1-day campaigns)",
+                      "Daniel & Tschorsch 2022, §VI recommendation");
+
+  struct Setting {
+    int low;
+    int high;
+  };
+  const Setting settings[] = {{300, 450}, {600, 900}, {2000, 4000},
+                              {9000, 10000}, {18000, 20000}};
+
+  common::TextTable table("Churn vs watermarks (go-ipfs vantage)");
+  table.set_header({"Low/High", "Connections", "All avg", "All median", "Local trims",
+                    "Peers seen"});
+  for (const Setting& setting : settings) {
+    std::cerr << "[ablation-trim] low=" << setting.low << " high=" << setting.high
+              << "...\n";
+    auto period = scenario::PeriodSpec::P4();
+    period.name = "sweep";
+    period.duration = common::kDay;
+    period.go_low_water = setting.low;
+    period.go_high_water = setting.high;
+    auto config = bench::make_config(period);
+    config.enable_crawler = false;
+    scenario::CampaignEngine engine(std::move(config));
+    const auto result = engine.run();
+    const auto stats = analysis::compute_connection_stats(*result.go_ipfs);
+    const auto reasons = analysis::compute_close_reasons(*result.go_ipfs);
+    table.add_row({std::to_string(setting.low) + "/" + std::to_string(setting.high),
+                   common::with_thousands(stats.all.count),
+                   common::format_fixed(stats.all.average_s, 1) + " s",
+                   common::format_fixed(stats.all.median_s, 1) + " s",
+                   common::with_thousands(reasons.local_trim),
+                   common::with_thousands(stats.peer.count)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpected shape: raising the watermarks monotonically reduces\n"
+               "local trims and raises average connection duration — the paper's\n"
+               "case for higher DHT-server defaults.  Note how the peer horizon\n"
+               "(PIDs seen) barely changes: trimming costs stability, not reach.\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Shared support for the reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the paper.  By
+// default campaigns run at full December-2021 scale (the numbers printed
+// next to each paper value); set IPFS_SCALE=0.1 for a quick pass and
+// IPFS_SEED to vary the synthetic network.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "scenario/campaign.hpp"
+
+namespace ipfs::bench {
+
+inline double env_scale() {
+  const char* text = std::getenv("IPFS_SCALE");
+  if (text == nullptr) return 1.0;
+  const double value = std::atof(text);
+  return value > 0.0 ? value : 1.0;
+}
+
+inline std::uint64_t env_seed() {
+  const char* text = std::getenv("IPFS_SEED");
+  if (text == nullptr) return 20211203;
+  return static_cast<std::uint64_t>(std::atoll(text));
+}
+
+inline scenario::CampaignConfig make_config(scenario::PeriodSpec period) {
+  scenario::CampaignConfig config;
+  config.period = std::move(period);
+  config.population = scenario::PopulationSpec::test_scale(env_scale());
+  config.seed = env_seed();
+  return config;
+}
+
+inline scenario::CampaignResult run_period(scenario::PeriodSpec period) {
+  scenario::CampaignEngine engine(make_config(std::move(period)));
+  return engine.run();
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n" << std::string(78, '#') << "\n"
+            << "# " << title << "\n"
+            << "# Reproduces: " << paper_ref << "\n"
+            << "# scale=" << env_scale() << " seed=" << env_seed() << "\n"
+            << std::string(78, '#') << "\n";
+}
+
+}  // namespace ipfs::bench

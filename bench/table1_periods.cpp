@@ -1,0 +1,36 @@
+// Regenerates paper Table I: overview and duration of the measurement
+// periods with the connection-manager watermarks and deployed clients.
+#include <iostream>
+
+#include "bench_support.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace ipfs;
+  bench::print_header("TABLE I — measurement periods",
+                      "Daniel & Tschorsch 2022, Table I");
+
+  common::TextTable table("Measurement periods (paper dates; simulated clocks start at 0)");
+  table.set_header({"Period", "Dates", "Duration", "Low", "High", "go-ipfs", "Hydra"});
+  for (const auto& period : scenario::PeriodSpec::table1()) {
+    const std::string go_role = !period.go_ipfs_present ? "-"
+                                : period.go_ipfs_mode == dht::Mode::kServer ? "Server"
+                                                                            : "Client";
+    table.add_row({period.name, period.dates, common::format_duration(period.duration),
+                   common::with_thousands(static_cast<std::int64_t>(period.go_low_water)),
+                   common::with_thousands(static_cast<std::int64_t>(period.go_high_water)),
+                   go_role,
+                   period.hydra_heads == 0 ? "-" : std::to_string(period.hydra_heads)});
+  }
+  const auto long_run = scenario::PeriodSpec::Long14d();
+  table.add_rule();
+  table.add_row({long_run.name, long_run.dates, common::format_duration(long_run.duration),
+                 common::with_thousands(static_cast<std::int64_t>(long_run.go_low_water)),
+                 common::with_thousands(static_cast<std::int64_t>(long_run.go_high_water)),
+                 "Server", "-"});
+  table.print(std::cout);
+  std::cout << "\nPaper Table I: P0 600/900 Server+3 heads, P1 2k/4k Server+2,\n"
+               "P2 18k/20k Server+2, P3 18k/20k Client, P4 18k/20k Server.\n";
+  return 0;
+}

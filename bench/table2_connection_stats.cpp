@@ -1,0 +1,80 @@
+// Regenerates paper Table II: connection statistics (Sum / Avg / Median,
+// aggregation types "All" and "Peer") for go-ipfs and each hydra head over
+// measurement periods P0–P3, plus the §IV-A direction breakdown.
+#include <iostream>
+
+#include "analysis/connection_stats.hpp"
+#include "bench_support.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using namespace ipfs;
+
+void add_rows(common::TextTable& table, const std::string& period,
+              const measure::Dataset& dataset) {
+  const auto stats = analysis::compute_connection_stats(dataset);
+  table.add_row({period, "All", common::with_thousands(stats.all.count),
+                 common::format_fixed(stats.all.average_s, 3) + " s",
+                 common::format_fixed(stats.all.median_s, 3) + " s"});
+  table.add_row({period, "Peer", common::with_thousands(stats.peer.count),
+                 common::format_fixed(stats.peer.average_s, 3) + " s",
+                 common::format_fixed(stats.peer.median_s, 3) + " s"});
+}
+
+void direction_note(const std::string& period, const measure::Dataset& dataset) {
+  const auto stats = analysis::compute_connection_stats(dataset);
+  std::cout << "  " << period << " go-ipfs direction: inbound "
+            << common::with_thousands(stats.direction.inbound_count) << " (avg "
+            << common::format_fixed(stats.direction.inbound_avg_s, 1)
+            << " s), outbound "
+            << common::with_thousands(stats.direction.outbound_count) << " (avg "
+            << common::format_fixed(stats.direction.outbound_avg_s, 1) << " s)\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace ipfs;
+  bench::print_header("TABLE II — connection statistics",
+                      "Daniel & Tschorsch 2022, Table II + §IV-A");
+
+  common::TextTable go_table("go-ipfs");
+  go_table.set_header({"Period", "Type", "Sum", "Avg.", "Median"});
+  std::vector<common::TextTable> hydra_tables;
+  std::vector<scenario::CampaignResult> results;
+
+  const std::vector<scenario::PeriodSpec> periods{
+      scenario::PeriodSpec::P0(), scenario::PeriodSpec::P1(),
+      scenario::PeriodSpec::P2(), scenario::PeriodSpec::P3()};
+
+  for (const auto& period : periods) {
+    std::cerr << "[table2] running " << period.name << "...\n";
+    results.push_back(bench::run_period(period));
+    const auto& result = results.back();
+    if (result.go_ipfs) add_rows(go_table, period.name, *result.go_ipfs);
+    for (std::size_t h = 0; h < result.hydra_heads.size(); ++h) {
+      if (hydra_tables.size() <= h) {
+        hydra_tables.emplace_back("Hydra H" + std::to_string(h));
+        hydra_tables.back().set_header({"Period", "Type", "Sum", "Avg.", "Median"});
+      }
+      add_rows(hydra_tables[h], period.name, result.hydra_heads[h]);
+    }
+  }
+
+  go_table.print(std::cout);
+  for (auto& table : hydra_tables) table.print(std::cout);
+
+  std::cout << "\nDirection breakdown (§IV-A: 'vastly more inbound than outbound'):\n";
+  for (std::size_t i = 0; i < periods.size(); ++i) {
+    if (results[i].go_ipfs) direction_note(periods[i].name, *results[i].go_ipfs);
+  }
+
+  std::cout << "\nPaper Table II (go-ipfs): P0 All 1'285'513/196.556/73.732,"
+               " P1 All 355'965/802.617/130.464,\n  P2 All 285'357/3883.828/85.404,"
+               " P3 All 47'571/120.613/75.192.\nShape to check: Avg rises P0->P2 as"
+               " watermarks rise; medians stay ~1 min;\nPeer-avg >> All-avg; P3"
+               " (client) smallest and shortest.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Churn study (§IV-A, §VI): demonstrate that IPFS connection churn is
+// driven by the connection manager, not by node churn.  Two campaigns over
+// the same population — default watermarks vs high watermarks — and a
+// breakdown of *why* connections closed in each.
+//
+//   ./examples/churn_study [scale]     (default scale 0.1)
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/connection_stats.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "scenario/campaign.hpp"
+
+namespace {
+
+using namespace ipfs;
+
+scenario::CampaignResult run(double scale, int low, int high) {
+  scenario::CampaignConfig config;
+  config.period = scenario::PeriodSpec::P4();
+  config.period.duration = common::kDay;
+  config.period.go_low_water = low;
+  config.period.go_high_water = high;
+  config.population = scenario::PopulationSpec::test_scale(scale);
+  config.seed = 20211206;
+  config.enable_crawler = false;
+  scenario::CampaignEngine engine(std::move(config));
+  return engine.run();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.1;
+  // Scale the paper's default 600/900 watermarks with the population.
+  const int low = std::max(4, static_cast<int>(600 * scale));
+  const int high = std::max(6, static_cast<int>(900 * scale));
+
+  std::cout << "Population scale " << scale << "; default watermarks " << low << "/"
+            << high << " vs high watermarks.\n";
+
+  common::TextTable table("Why connections closed (1-day campaigns)");
+  table.set_header({"Config", "Conns", "own trim", "remote trim", "query done",
+                    "node left", "All avg"});
+  for (const bool high_watermarks : {false, true}) {
+    const auto result = high_watermarks ? run(scale, 18000, 20000)
+                                        : run(scale, low, high);
+    const auto& dataset = *result.go_ipfs;
+    const auto reasons = analysis::compute_close_reasons(dataset);
+    const auto stats = analysis::compute_connection_stats(dataset);
+    table.add_row({high_watermarks ? "18k/20k (P2-style)" : "default-style",
+                   common::with_thousands(stats.all.count),
+                   common::with_thousands(reasons.local_trim),
+                   common::with_thousands(reasons.remote_trim),
+                   common::with_thousands(reasons.remote_close),
+                   common::with_thousands(reasons.peer_offline),
+                   common::format_fixed(stats.all.average_s, 1) + " s"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: with default-style watermarks the vantage itself closes\n"
+               "the bulk of connections ('own trim'); raising the watermarks\n"
+               "shifts closes to the remote side and to genuine node departures,\n"
+               "and the average duration grows by an order of magnitude.  This is\n"
+               "the paper's §VI recommendation to raise DHT-server defaults.\n";
+  return 0;
+}

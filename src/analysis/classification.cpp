@@ -1,0 +1,78 @@
+#include "analysis/classification.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ipfs::analysis {
+
+std::string_view to_string(PeerClass cls) noexcept {
+  switch (cls) {
+    case PeerClass::kHeavy: return "Heavy";
+    case PeerClass::kNormal: return "Normal";
+    case PeerClass::kLight: return "Light";
+    case PeerClass::kOneTime: return "One-time";
+  }
+  return "?";
+}
+
+std::vector<PeerFeatures> extract_features(const measure::Dataset& dataset) {
+  std::vector<PeerFeatures> features(dataset.peer_count());
+  for (std::size_t i = 0; i < dataset.peer_count(); ++i) {
+    features[i].peer = static_cast<measure::PeerIndex>(i);
+    features[i].dht_server = dataset.record(static_cast<std::uint32_t>(i)).ever_dht_server;
+  }
+  for (const measure::ConnRecord& record : dataset.connections()) {
+    PeerFeatures& f = features[record.peer];
+    f.max_duration = std::max(f.max_duration, record.duration());
+    ++f.connection_count;
+  }
+  // Only peers with recorded connections enter the classification (the
+  // paper classifies the 62'204 connected PIDs of P4, not all 65'853).
+  std::vector<PeerFeatures> connected;
+  connected.reserve(features.size());
+  for (const PeerFeatures& f : features) {
+    if (f.connection_count > 0) connected.push_back(f);
+  }
+  return connected;
+}
+
+PeerClass classify(const PeerFeatures& features, const ClassifierConfig& config) {
+  if (features.max_duration > config.heavy_min_duration) return PeerClass::kHeavy;
+  if (features.max_duration > config.normal_min_duration) return PeerClass::kNormal;
+  if (features.connection_count >= config.light_min_connections) {
+    return PeerClass::kLight;
+  }
+  return PeerClass::kOneTime;
+}
+
+ClassCounts classify_peers(const measure::Dataset& dataset,
+                           const ClassifierConfig& config) {
+  ClassCounts counts;
+  for (const PeerFeatures& features : extract_features(dataset)) {
+    const auto cls = static_cast<std::size_t>(classify(features, config));
+    ++counts.peers[cls];
+    if (features.dht_server) ++counts.dht_servers[cls];
+  }
+  return counts;
+}
+
+ConnectionCdfs connection_cdfs(const measure::Dataset& dataset, int server_filter) {
+  std::vector<double> durations;
+  std::vector<double> connection_counts;
+  for (const PeerFeatures& features : extract_features(dataset)) {
+    if (server_filter == 0 && features.dht_server) continue;
+    if (server_filter == 1 && !features.dht_server) continue;
+    // Group durations into 30 s intervals as the paper's Fig. 7 caption
+    // specifies (ceil to the next 30 s boundary).
+    const double grouped_s =
+        std::ceil(common::to_seconds(features.max_duration) / 30.0) * 30.0;
+    durations.push_back(grouped_s);
+    connection_counts.push_back(static_cast<double>(features.connection_count));
+  }
+  ConnectionCdfs cdfs;
+  cdfs.max_duration_s = common::Cdf(std::move(durations));
+  cdfs.connection_count = common::Cdf(std::move(connection_counts));
+  return cdfs;
+}
+
+}  // namespace ipfs::analysis

@@ -1,0 +1,73 @@
+// Connection-time peer classification (paper §V-B, Fig. 7, Table IV).
+//
+// Per PID, two features: the *maximum* connection duration and the *number*
+// of connections with the vantage.  Four classes:
+//   Heavy    — max duration > 24 h            (stable, constantly active)
+//   Normal   — max duration > 2 h (≤ 24 h)
+//   Light    — max duration ≤ 2 h, ≥ 3 connections (recurring/experimental)
+//   One-time — max duration < 2 h, < 3 connections
+// Heavy ∪ Normal DHT-clients form the paper's "core user base"; heavy
+// DHT-servers its ≥10k core network bound.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "measure/dataset.hpp"
+
+namespace ipfs::analysis {
+
+enum class PeerClass : std::uint8_t { kHeavy = 0, kNormal = 1, kLight = 2, kOneTime = 3 };
+
+[[nodiscard]] std::string_view to_string(PeerClass cls) noexcept;
+
+/// Classification thresholds (the paper's Table IV definitions).
+struct ClassifierConfig {
+  common::SimDuration heavy_min_duration = 24 * common::kHour;
+  common::SimDuration normal_min_duration = 2 * common::kHour;
+  std::uint32_t light_min_connections = 3;
+};
+
+/// Per-peer classification features.
+struct PeerFeatures {
+  measure::PeerIndex peer = 0;
+  common::SimDuration max_duration = 0;
+  std::uint32_t connection_count = 0;
+  bool dht_server = false;
+};
+
+/// Features for every PID with at least one recorded connection.
+[[nodiscard]] std::vector<PeerFeatures> extract_features(
+    const measure::Dataset& dataset);
+
+[[nodiscard]] PeerClass classify(const PeerFeatures& features,
+                                 const ClassifierConfig& config = {});
+
+/// Table IV: per-class peer counts and DHT-server sub-counts.
+struct ClassCounts {
+  std::array<std::uint64_t, 4> peers{};        ///< indexed by PeerClass
+  std::array<std::uint64_t, 4> dht_servers{};
+
+  [[nodiscard]] std::uint64_t total_peers() const noexcept {
+    return peers[0] + peers[1] + peers[2] + peers[3];
+  }
+};
+
+[[nodiscard]] ClassCounts classify_peers(const measure::Dataset& dataset,
+                                         const ClassifierConfig& config = {});
+
+/// Fig. 7 inputs: CDFs over max connection duration (seconds, grouped into
+/// 30 s bins as the paper does) and over connection counts, computed for a
+/// peer subset selected by `server_filter` (-1 all, 0 clients, 1 servers).
+struct ConnectionCdfs {
+  common::Cdf max_duration_s;
+  common::Cdf connection_count;
+};
+
+[[nodiscard]] ConnectionCdfs connection_cdfs(const measure::Dataset& dataset,
+                                             int server_filter = -1);
+
+}  // namespace ipfs::analysis

@@ -1,0 +1,74 @@
+#include "analysis/connection_stats.hpp"
+
+#include "common/stats.hpp"
+
+namespace ipfs::analysis {
+
+ConnectionStats compute_connection_stats(const measure::Dataset& dataset) {
+  ConnectionStats stats;
+
+  std::vector<double> all_durations;
+  all_durations.reserve(dataset.connection_count());
+  common::RunningStats all_running;
+  common::RunningStats inbound;
+  common::RunningStats outbound;
+
+  // Per-peer accumulation: sum + count per peer index.
+  std::vector<double> per_peer_sum(dataset.peer_count(), 0.0);
+  std::vector<std::uint32_t> per_peer_count(dataset.peer_count(), 0);
+
+  for (const measure::ConnRecord& record : dataset.connections()) {
+    const double seconds = common::to_seconds(record.duration());
+    all_durations.push_back(seconds);
+    all_running.add(seconds);
+    if (record.direction == p2p::Direction::kInbound) {
+      inbound.add(seconds);
+    } else {
+      outbound.add(seconds);
+    }
+    per_peer_sum[record.peer] += seconds;
+    ++per_peer_count[record.peer];
+  }
+
+  stats.all.count = all_running.count();
+  stats.all.average_s = all_running.mean();
+  stats.all.median_s = common::median(all_durations);
+
+  std::vector<double> peer_averages;
+  peer_averages.reserve(dataset.peer_count());
+  common::RunningStats peer_running;
+  for (std::size_t i = 0; i < dataset.peer_count(); ++i) {
+    if (per_peer_count[i] == 0) continue;  // known PID but never connected
+    const double average = per_peer_sum[i] / per_peer_count[i];
+    peer_averages.push_back(average);
+    peer_running.add(average);
+  }
+  stats.peer.count = peer_running.count();
+  stats.peer.average_s = peer_running.mean();
+  stats.peer.median_s = common::median(std::move(peer_averages));
+
+  stats.direction.inbound_count = inbound.count();
+  stats.direction.outbound_count = outbound.count();
+  stats.direction.inbound_avg_s = inbound.mean();
+  stats.direction.outbound_avg_s = outbound.mean();
+  return stats;
+}
+
+CloseReasonBreakdown compute_close_reasons(const measure::Dataset& dataset) {
+  CloseReasonBreakdown breakdown;
+  for (const measure::ConnRecord& record : dataset.connections()) {
+    switch (record.reason) {
+      case p2p::CloseReason::kLocalTrim: ++breakdown.local_trim; break;
+      case p2p::CloseReason::kRemoteTrim: ++breakdown.remote_trim; break;
+      case p2p::CloseReason::kRemoteClose: ++breakdown.remote_close; break;
+      case p2p::CloseReason::kLocalClose: ++breakdown.local_close; break;
+      case p2p::CloseReason::kPeerOffline: ++breakdown.peer_offline; break;
+      case p2p::CloseReason::kError: ++breakdown.error; break;
+      case p2p::CloseReason::kMeasurementEnd: ++breakdown.measurement_end; break;
+      case p2p::CloseReason::kNone: break;
+    }
+  }
+  return breakdown;
+}
+
+}  // namespace ipfs::analysis

@@ -1,0 +1,61 @@
+// Connection-churn statistics (paper §IV-A, Table II).
+//
+// Two aggregation types, exactly as the paper defines them:
+//   "All"  — every connection contributes its duration (peers with many
+//            connections contribute many values);
+//   "Peer" — each peer contributes the *average* duration of its
+//            connections (one value per peer).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "measure/dataset.hpp"
+
+namespace ipfs::analysis {
+
+/// Sum / average / median triple as printed in Table II.
+struct DurationStats {
+  std::uint64_t count = 0;   ///< the table's "Sum" column (number of values)
+  double average_s = 0.0;    ///< seconds
+  double median_s = 0.0;     ///< seconds
+};
+
+/// Per-direction breakdown backing the §IV-A observation that inbound
+/// connections outnumber and outlive outbound ones.
+struct DirectionStats {
+  std::uint64_t inbound_count = 0;
+  std::uint64_t outbound_count = 0;
+  double inbound_avg_s = 0.0;
+  double outbound_avg_s = 0.0;
+};
+
+struct ConnectionStats {
+  DurationStats all;    ///< Type "All"
+  DurationStats peer;   ///< Type "Peer"
+  DirectionStats direction;
+};
+
+/// Compute Table II's rows for one vantage dataset.
+[[nodiscard]] ConnectionStats compute_connection_stats(const measure::Dataset& dataset);
+
+/// Breakdown of close reasons (diagnoses *why* churn happens — the paper's
+/// conclusion blames connection trimming rather than node churn).
+struct CloseReasonBreakdown {
+  std::uint64_t local_trim = 0;
+  std::uint64_t remote_trim = 0;
+  std::uint64_t remote_close = 0;
+  std::uint64_t local_close = 0;
+  std::uint64_t peer_offline = 0;
+  std::uint64_t error = 0;
+  std::uint64_t measurement_end = 0;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return local_trim + remote_trim + remote_close + local_close + peer_offline +
+           error + measurement_end;
+  }
+};
+
+[[nodiscard]] CloseReasonBreakdown compute_close_reasons(const measure::Dataset& dataset);
+
+}  // namespace ipfs::analysis

@@ -1,0 +1,45 @@
+// Network-size estimation (paper §V).
+//
+// Method 1 (§V-A): group PIDs by connected IP address — PIDs sharing any IP
+// collapse into one group (union-find).  Method 2 (§V-B): the
+// connection-time classification of classification.hpp; heavy peers bound
+// the core network from below.  `NetworkSizeReport` combines both with the
+// headline numbers the paper quotes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/classification.hpp"
+#include "measure/dataset.hpp"
+
+namespace ipfs::analysis {
+
+/// §V-A results.
+struct MultiaddrGrouping {
+  std::uint64_t total_pids = 0;          ///< 65'853 in P4
+  std::uint64_t connected_pids = 0;      ///< 62'204 — PIDs with a connection
+  std::uint64_t distinct_ips = 0;        ///< 56'536
+  std::uint64_t groups = 0;              ///< 47'516 — IP-connected components
+  std::uint64_t singleton_groups = 0;    ///< 44'301 — groups of exactly one PID
+  std::uint64_t unique_ip_pids = 0;      ///< 40'193 — PIDs alone on their IPs
+  std::uint64_t largest_group = 0;       ///< 2'156 PIDs behind one IP
+  /// Size of each group, descending (for inspection / tests).
+  std::vector<std::uint64_t> group_sizes;
+};
+
+[[nodiscard]] MultiaddrGrouping group_by_multiaddr(const measure::Dataset& dataset);
+
+/// Combined §V headline report.
+struct NetworkSizeReport {
+  std::uint64_t observed_pids = 0;
+  std::uint64_t estimated_peers_by_ip = 0;   ///< group count (≈48k conclusion)
+  std::uint64_t core_network_lower_bound = 0;  ///< heavy peers (≥10k)
+  std::uint64_t heavy_dht_servers = 0;
+  std::uint64_t core_user_base = 0;  ///< heavy DHT clients
+  double pids_per_ip_group = 0.0;
+};
+
+[[nodiscard]] NetworkSizeReport estimate_network_size(const measure::Dataset& dataset);
+
+}  // namespace ipfs::analysis

@@ -1,0 +1,155 @@
+#include "analysis/timeseries.hpp"
+
+#include <algorithm>
+
+namespace ipfs::analysis {
+
+std::vector<CountSample> simultaneous_connections(const measure::Dataset& dataset,
+                                                  common::SimDuration step,
+                                                  common::SimDuration horizon) {
+  std::vector<CountSample> series;
+  if (step <= 0) return series;
+  const common::SimTime start = dataset.measurement_start;
+  const common::SimTime end = std::min(dataset.measurement_end, start + horizon);
+
+  // Difference array over grid indices.  A connection counts at sample
+  // time t iff opened <= t < closed, so it contributes to the first sample
+  // at-or-after `opened` up to (exclusive) the first sample at-or-after
+  // `closed`; connections that span no sample point contribute nothing —
+  // otherwise the mass of sub-step query connections would inflate every
+  // bucket they merely touch.
+  const auto grid_size = static_cast<std::size_t>((end - start) / step) + 1;
+  const auto first_sample_at_or_after = [&](common::SimTime t) {
+    const common::SimTime clamped = std::max<common::SimTime>(t - start, 0);
+    return static_cast<std::size_t>((clamped + step - 1) / step);
+  };
+  std::vector<std::int64_t> delta(grid_size + 1, 0);
+  for (const measure::ConnRecord& record : dataset.connections()) {
+    if (record.opened > end || record.closed < start) continue;
+    const auto from = std::min(first_sample_at_or_after(record.opened), grid_size);
+    const auto to = std::min(first_sample_at_or_after(record.closed), grid_size);
+    if (from >= to) continue;
+    ++delta[from];
+    --delta[to];
+  }
+
+  series.reserve(grid_size);
+  std::int64_t open = 0;
+  for (std::size_t i = 0; i < grid_size; ++i) {
+    open += delta[i];
+    series.push_back({start + static_cast<common::SimTime>(i) * step,
+                      static_cast<std::uint64_t>(std::max<std::int64_t>(open, 0))});
+  }
+  return series;
+}
+
+SeriesSummary summarize_series(const std::vector<CountSample>& series) {
+  SeriesSummary summary;
+  if (series.empty()) return summary;
+  double sum = 0.0;
+  for (const CountSample& sample : series) {
+    summary.peak = std::max(summary.peak, sample.count);
+    sum += static_cast<double>(sample.count);
+  }
+  summary.final_value = series.back().count;
+  summary.mean = sum / static_cast<double>(series.size());
+  return summary;
+}
+
+PidGrowthSeries pid_growth(const measure::Dataset& dataset, common::SimDuration step,
+                           common::SimDuration gone_after) {
+  PidGrowthSeries result;
+  if (step <= 0) return result;
+  const common::SimTime start = dataset.measurement_start;
+  const common::SimTime end = dataset.measurement_end;
+  const auto grid_size = static_cast<std::size_t>((end - start) / step) + 1;
+
+  // Per-peer first-seen and last-activity (last connection close, or
+  // last_seen when the peer never connected).
+  std::vector<std::int64_t> first_seen_delta(grid_size + 1, 0);
+  std::vector<std::int64_t> gone_delta(grid_size + 1, 0);
+
+  const auto& by_peer = dataset.connections_by_peer();
+  for (std::size_t p = 0; p < dataset.peer_count(); ++p) {
+    const measure::PeerRecord& peer = dataset.record(static_cast<std::uint32_t>(p));
+    const auto first_index = static_cast<std::size_t>(
+        std::clamp<common::SimTime>(peer.first_seen - start, 0, end - start) / step);
+    ++first_seen_delta[first_index];
+
+    common::SimTime last_activity = peer.last_seen;
+    for (const std::uint32_t ci : by_peer[p]) {
+      last_activity = std::max(last_activity, dataset.connections()[ci].closed);
+    }
+    // The peer becomes "gone" once `gone_after` passes with no return —
+    // only meaningful if that happens within the measurement.
+    const common::SimTime gone_at = last_activity + gone_after;
+    if (gone_at <= end) {
+      const auto gone_index =
+          static_cast<std::size_t>(std::max<common::SimTime>(gone_at - start, 0) / step);
+      if (gone_index < grid_size) ++gone_delta[gone_index];
+    }
+  }
+
+  // Connected series: interval sweep like simultaneous_connections but
+  // counting distinct peers is costly; connections per peer rarely overlap,
+  // so we approximate by sweeping per-peer merged intervals exactly.
+  std::vector<std::int64_t> connected_delta(grid_size + 1, 0);
+  for (std::size_t p = 0; p < dataset.peer_count(); ++p) {
+    // Merge the peer's connection intervals.
+    std::vector<std::pair<common::SimTime, common::SimTime>> intervals;
+    for (const std::uint32_t ci : by_peer[p]) {
+      const measure::ConnRecord& record = dataset.connections()[ci];
+      intervals.emplace_back(record.opened, record.closed);
+    }
+    std::sort(intervals.begin(), intervals.end());
+    common::SimTime merged_start = -1;
+    common::SimTime merged_end = -1;
+    auto flush = [&] {
+      if (merged_start < 0) return;
+      // Same at-sample-time semantics as simultaneous_connections above.
+      const auto sample_at_or_after = [&](common::SimTime t) {
+        const common::SimTime clamped = std::max<common::SimTime>(t - start, 0);
+        return static_cast<std::size_t>((clamped + step - 1) / step);
+      };
+      const auto from = std::min(sample_at_or_after(merged_start), grid_size);
+      const auto to = std::min(sample_at_or_after(merged_end), grid_size);
+      if (from < to) {
+        ++connected_delta[from];
+        --connected_delta[to];
+      }
+    };
+    for (const auto& [open, close] : intervals) {
+      if (merged_start < 0) {
+        merged_start = open;
+        merged_end = close;
+      } else if (open <= merged_end) {
+        merged_end = std::max(merged_end, close);
+      } else {
+        flush();
+        merged_start = open;
+        merged_end = close;
+      }
+    }
+    flush();
+  }
+
+  result.all_pids.reserve(grid_size);
+  result.gone_pids.reserve(grid_size);
+  result.connected_pids.reserve(grid_size);
+  std::int64_t seen = 0;
+  std::int64_t gone = 0;
+  std::int64_t connected = 0;
+  for (std::size_t i = 0; i < grid_size; ++i) {
+    seen += first_seen_delta[i];
+    gone += gone_delta[i];
+    connected += connected_delta[i];
+    const auto at = start + static_cast<common::SimTime>(i) * step;
+    result.all_pids.push_back({at, static_cast<std::uint64_t>(seen)});
+    result.gone_pids.push_back({at, static_cast<std::uint64_t>(gone)});
+    result.connected_pids.push_back(
+        {at, static_cast<std::uint64_t>(std::max<std::int64_t>(connected, 0))});
+  }
+  return result;
+}
+
+}  // namespace ipfs::analysis

@@ -1,0 +1,51 @@
+// Time-series reconstructions (paper Fig. 5 and Fig. 6).
+//
+// Both figures are computable post-hoc from the dataset: simultaneous
+// connections by sweeping connection intervals over a sampling grid, and
+// PID growth from first-seen / last-activity times.
+#pragma once
+
+#include <vector>
+
+#include "measure/dataset.hpp"
+
+namespace ipfs::analysis {
+
+/// One sample of a counting series.
+struct CountSample {
+  common::SimTime at = 0;
+  std::uint64_t count = 0;
+};
+
+/// Fig. 5: number of simultaneously open connections over time, sampled
+/// every `step` from measurement start to `horizon` past it (the paper
+/// plots the first 24 h).
+[[nodiscard]] std::vector<CountSample> simultaneous_connections(
+    const measure::Dataset& dataset, common::SimDuration step,
+    common::SimDuration horizon);
+
+/// Peak / plateau diagnostics for a series.
+struct SeriesSummary {
+  std::uint64_t peak = 0;
+  std::uint64_t final_value = 0;
+  double mean = 0.0;
+};
+
+[[nodiscard]] SeriesSummary summarize_series(const std::vector<CountSample>& series);
+
+/// Fig. 6's three series on a shared grid.
+struct PidGrowthSeries {
+  std::vector<CountSample> all_pids;        ///< PIDs seen so far
+  std::vector<CountSample> gone_pids;       ///< disconnected > `gone_after`
+                                            ///< and never returned
+  std::vector<CountSample> connected_pids;  ///< currently connected
+};
+
+/// Compute Fig. 6 over the full measurement with the given sampling step;
+/// `gone_after` is the paper's "more than three days disconnected".
+[[nodiscard]] PidGrowthSeries pid_growth(const measure::Dataset& dataset,
+                                         common::SimDuration step,
+                                         common::SimDuration gone_after =
+                                             3 * common::kDay);
+
+}  // namespace ipfs::analysis

@@ -1,0 +1,128 @@
+#include "common/json.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace ipfs::common {
+
+void JsonWriter::begin_object() {
+  separator();
+  out_ << '{';
+  scopes_.push_back(Scope::kObject);
+  need_comma_ = false;
+}
+
+void JsonWriter::end_object() {
+  assert(!scopes_.empty() && scopes_.back() == Scope::kObject);
+  scopes_.pop_back();
+  if (pretty_) newline_indent();
+  out_ << '}';
+  need_comma_ = true;
+}
+
+void JsonWriter::begin_array() {
+  separator();
+  out_ << '[';
+  scopes_.push_back(Scope::kArray);
+  need_comma_ = false;
+}
+
+void JsonWriter::end_array() {
+  assert(!scopes_.empty() && scopes_.back() == Scope::kArray);
+  scopes_.pop_back();
+  if (pretty_) newline_indent();
+  out_ << ']';
+  need_comma_ = true;
+}
+
+void JsonWriter::key(std::string_view name) {
+  assert(!scopes_.empty() && scopes_.back() == Scope::kObject);
+  if (need_comma_) out_ << ',';
+  if (pretty_) newline_indent();
+  out_ << '"' << escape(name) << "\":";
+  if (pretty_) out_ << ' ';
+  need_comma_ = false;
+  after_key_ = true;
+}
+
+void JsonWriter::separator() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (need_comma_) out_ << ',';
+  if (pretty_ && !scopes_.empty() && scopes_.back() == Scope::kArray) newline_indent();
+}
+
+void JsonWriter::newline_indent() {
+  out_ << '\n';
+  for (std::size_t i = 0; i < scopes_.size(); ++i) out_ << "  ";
+}
+
+void JsonWriter::value(std::string_view text) {
+  separator();
+  out_ << '"' << escape(text) << '"';
+  need_comma_ = true;
+}
+
+void JsonWriter::value(bool b) {
+  separator();
+  out_ << (b ? "true" : "false");
+  need_comma_ = true;
+}
+
+void JsonWriter::value(std::int64_t n) {
+  separator();
+  out_ << n;
+  need_comma_ = true;
+}
+
+void JsonWriter::value(std::uint64_t n) {
+  separator();
+  out_ << n;
+  need_comma_ = true;
+}
+
+void JsonWriter::value(double d) {
+  separator();
+  if (std::isfinite(d)) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", d);
+    out_ << buffer;
+  } else {
+    out_ << "null";  // JSON has no NaN/Inf
+  }
+  need_comma_ = true;
+}
+
+void JsonWriter::null() {
+  separator();
+  out_ << "null";
+  need_comma_ = true;
+}
+
+std::string JsonWriter::escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace ipfs::common

@@ -1,0 +1,74 @@
+// Minimal streaming JSON writer.  The paper's measurement clients export
+// their records periodically to JSON files; `measure::Dataset` uses this
+// writer for the same purpose.  Writing is streaming (no DOM) so multi-day
+// campaign exports stay O(1) in memory.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ipfs::common {
+
+/// Streaming JSON writer with explicit begin/end nesting.
+///
+/// Usage:
+///   JsonWriter w(stream);
+///   w.begin_object();
+///   w.key("peers"); w.begin_array();
+///   ...
+///   w.end_array();
+///   w.end_object();
+///
+/// The writer validates nesting depth in debug builds via assertions; it is
+/// the caller's responsibility to alternate key()/value in objects.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out, bool pretty = false)
+      : out_(out), pretty_(pretty) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  void key(std::string_view name);
+
+  void value(std::string_view text);
+  void value(const char* text) { value(std::string_view(text)); }
+  void value(bool b);
+  void value(std::int64_t n);
+  void value(std::uint64_t n);
+  void value(int n) { value(static_cast<std::int64_t>(n)); }
+  void value(double d);
+  void null();
+
+  /// Convenience: key + scalar value in one call.
+  template <typename T>
+  void field(std::string_view name, T&& v) {
+    key(name);
+    value(std::forward<T>(v));
+  }
+
+  /// Escape a string per RFC 8259 (quotes not included).
+  [[nodiscard]] static std::string escape(std::string_view text);
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+
+  void separator();
+  void newline_indent();
+
+  std::ostream& out_;
+  bool pretty_ = false;
+  bool need_comma_ = false;
+  bool after_key_ = false;
+  std::vector<Scope> scopes_;
+};
+
+}  // namespace ipfs::common

@@ -1,0 +1,130 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ipfs::common {
+
+void RunningStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  sum_sq_ += x * x;
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  const double m = mean();
+  const double v = sum_sq_ / static_cast<double>(count_) - m * m;
+  return v < 0.0 ? 0.0 : v;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double median(std::vector<double> samples) { return quantile(std::move(samples), 0.5); }
+
+double quantile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(samples.begin(), samples.end());
+  const double position = q * static_cast<double>(samples.size() - 1);
+  const auto lower = static_cast<std::size_t>(position);
+  const double fraction = position - static_cast<double>(lower);
+  if (lower + 1 >= samples.size()) return samples.back();
+  return samples[lower] * (1.0 - fraction) + samples[lower + 1] * fraction;
+}
+
+Cdf::Cdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Cdf::fraction_at_most(double x) const noexcept {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double Cdf::value_at_fraction(double fraction) const noexcept {
+  if (sorted_.empty()) return 0.0;
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const auto index = static_cast<std::size_t>(
+      fraction * static_cast<double>(sorted_.size() - 1) + 0.5);
+  return sorted_[std::min(index, sorted_.size() - 1)];
+}
+
+std::vector<std::pair<double, double>> Cdf::log_spaced_points(
+    double x_min, double x_max, std::size_t point_count) const {
+  std::vector<std::pair<double, double>> points;
+  if (point_count < 2 || x_min <= 0.0 || x_max <= x_min) return points;
+  points.reserve(point_count);
+  const double log_min = std::log10(x_min);
+  const double log_max = std::log10(x_max);
+  for (std::size_t i = 0; i < point_count; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(point_count - 1);
+    const double x = std::pow(10.0, log_min + t * (log_max - log_min));
+    points.emplace_back(x, fraction_at_most(x));
+  }
+  return points;
+}
+
+void CountedHistogram::add(const std::string& key, std::uint64_t weight) {
+  counts_[key] += weight;
+  total_ += weight;
+}
+
+std::uint64_t CountedHistogram::count(const std::string& key) const noexcept {
+  const auto it = counts_.find(key);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> CountedHistogram::top_with_other(
+    std::uint64_t group_threshold) const {
+  std::vector<std::pair<std::string, std::uint64_t>> rows;
+  std::uint64_t other = 0;
+  for (const auto& [key, count] : counts_) {
+    if (count <= group_threshold) {
+      other += count;
+    } else {
+      rows.emplace_back(key, count);
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (other > 0) rows.emplace_back("other", other);
+  return rows;
+}
+
+namespace {
+std::string with_thousands_impl(std::uint64_t magnitude, bool negative) {
+  std::string digits = std::to_string(magnitude);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  const std::size_t first_group = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - first_group) % 3 == 0 && i >= first_group) out.push_back('\'');
+    out.push_back(digits[i]);
+  }
+  return negative ? "-" + out : out;
+}
+}  // namespace
+
+std::string with_thousands(std::uint64_t value) {
+  return with_thousands_impl(value, false);
+}
+
+std::string with_thousands(std::int64_t value) {
+  const bool negative = value < 0;
+  const auto magnitude =
+      negative ? static_cast<std::uint64_t>(-(value + 1)) + 1 : static_cast<std::uint64_t>(value);
+  return with_thousands_impl(magnitude, negative);
+}
+
+}  // namespace ipfs::common

@@ -1,0 +1,70 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ipfs::common {
+
+void TextTable::print(std::ostream& out) const {
+  // Compute column widths across header and all rows.
+  std::vector<std::size_t> widths;
+  auto absorb = [&widths](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  absorb(header_);
+  for (const auto& row : rows_) absorb(row);
+
+  std::size_t total = widths.empty() ? 0 : 3 * (widths.size() - 1);
+  for (const std::size_t w : widths) total += w;
+
+  out << title_ << '\n';
+  out << std::string(std::max<std::size_t>(total, title_.size()), '=') << '\n';
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << " | ";
+      out << row[i];
+      const std::size_t pad = widths[i] - row[i].size();
+      if (i + 1 < row.size()) out << std::string(pad, ' ');
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) {
+    print_row(header_);
+    out << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      out << std::string(total, '-') << '\n';
+    } else {
+      print_row(row);
+    }
+  }
+  out << std::string(total, '=') << '\n';
+}
+
+std::string format_percent(double fraction) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.1f %%", fraction * 100.0);
+  return buffer;
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string log_bar(std::uint64_t count, std::uint64_t max_count, std::size_t width) {
+  if (count == 0 || max_count == 0 || width == 0) return "";
+  const double ratio = std::log10(static_cast<double>(count) + 1.0) /
+                       std::log10(static_cast<double>(max_count) + 1.0);
+  const auto bars = static_cast<std::size_t>(
+      std::ceil(ratio * static_cast<double>(width)));
+  return std::string(std::clamp<std::size_t>(bars, 1, width), '#');
+}
+
+}  // namespace ipfs::common

@@ -1,0 +1,42 @@
+// ASCII table rendering for the benchmark harnesses.  Every bench binary
+// prints the rows of the paper table/figure it regenerates; this printer
+// keeps their output uniform.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ipfs::common {
+
+/// Column-aligned ASCII table with a title, header row and footer rule.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header) { header_ = std::move(header); }
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+  /// A separator rule between row groups (e.g. go-ipfs vs hydra blocks).
+  void add_rule() { rows_.push_back({}); }
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  void print(std::ostream& out) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Render a unit-interval fraction as a percentage string, e.g. "53.1 %".
+[[nodiscard]] std::string format_percent(double fraction);
+
+/// Fixed-point formatting with the given number of decimals.
+[[nodiscard]] std::string format_fixed(double value, int decimals);
+
+/// An inline bar for log-scale histograms in terminal output.
+[[nodiscard]] std::string log_bar(std::uint64_t count, std::uint64_t max_count,
+                                  std::size_t width);
+
+}  // namespace ipfs::common

@@ -1,0 +1,117 @@
+// Kademlia DHT engine: FIND_NODE request handling and iterative lookups.
+//
+// A node in *server* mode announces /ipfs/kad/1.0.0, answers FIND_NODE and
+// appears in other peers' routing tables; a *client* only issues queries.
+// The paper's role-flapping observation (§IV-B: peers toggling their kad
+// announcement 68'396 times) maps to `set_mode` calls here.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dht/routing_table.hpp"
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+
+namespace ipfs::dht {
+
+/// DHT participation mode.
+enum class Mode : std::uint8_t { kServer, kClient };
+
+/// FIND_NODE RPC bodies carried in net::Message::body.
+struct FindNodeRequest {
+  PeerId target;
+  std::uint64_t request_id = 0;
+};
+
+struct FindNodeResponse {
+  std::uint64_t request_id = 0;
+  std::vector<PeerId> closer_peers;
+};
+
+/// Result of an iterative lookup.
+struct LookupResult {
+  std::vector<PeerId> closest;      ///< up to k peers, ascending distance
+  std::size_t queried_count = 0;    ///< distinct peers queried
+  bool converged = false;           ///< false if aborted (no progress/peers)
+};
+
+/// Kademlia query/routing engine for one node.
+///
+/// The engine does not own connections; it sends messages through the
+/// network and learns peers from its host's swarm events.
+class KadEngine {
+ public:
+  static constexpr std::size_t kAlpha = 3;       ///< lookup parallelism
+  static constexpr std::size_t kReplication = 20;  ///< k closest returned
+  static constexpr common::SimDuration kRequestTimeout = 10 * common::kSecond;
+
+  KadEngine(sim::Simulation& simulation, net::Network& network, PeerId self,
+            Mode mode);
+
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+  void set_mode(Mode mode) noexcept { mode_ = mode; }
+  [[nodiscard]] bool is_server() const noexcept { return mode_ == Mode::kServer; }
+
+  [[nodiscard]] RoutingTable& routing_table() noexcept { return table_; }
+  [[nodiscard]] const RoutingTable& routing_table() const noexcept { return table_; }
+
+  /// Feed a peer discovered via any channel (connection opened, lookup
+  /// response).  Only peers known to run kad in server mode belong in the
+  /// table; the caller performs that check.
+  void observe_peer(const PeerId& peer);
+
+  /// Drop a peer (disconnected and unreachable).
+  void forget_peer(const PeerId& peer);
+
+  /// Handle an inbound kad message; returns true when consumed.
+  bool handle_message(const PeerId& from, const net::Message& message);
+
+  /// Iterative FIND_NODE toward `target`; `done` fires once with the result.
+  void lookup(const PeerId& target, std::function<void(LookupResult)> done);
+
+  /// Kick off a routing-table refresh: a self-lookup plus one random lookup
+  /// per non-empty bucket prefix (cheap approximation of go-libp2p's
+  /// refresh manager).
+  void refresh();
+
+  [[nodiscard]] std::uint64_t queries_served() const noexcept {
+    return queries_served_;
+  }
+
+ private:
+  struct LookupState {
+    PeerId target;
+    std::function<void(LookupResult)> done;
+    /// Peers already queried or in flight.
+    std::unordered_set<PeerId> contacted;
+    /// Candidate frontier, sorted lazily by distance to target.
+    std::vector<PeerId> frontier;
+    std::size_t in_flight = 0;
+    std::size_t queried = 0;
+    bool finished = false;
+  };
+
+  void send_find_node(std::uint64_t lookup_id, const PeerId& to);
+  void advance_lookup(std::uint64_t lookup_id);
+  void finish_lookup(std::uint64_t lookup_id, bool converged);
+  void on_response(std::uint64_t lookup_id, const PeerId& from,
+                   const FindNodeResponse& response);
+
+  sim::Simulation& simulation_;
+  net::Network& network_;
+  PeerId self_;
+  Mode mode_;
+  RoutingTable table_;
+  std::unordered_map<std::uint64_t, LookupState> lookups_;
+  /// request_id -> (lookup_id, peer); outstanding FIND_NODE RPCs.
+  std::unordered_map<std::uint64_t, std::pair<std::uint64_t, PeerId>> pending_;
+  std::uint64_t next_lookup_id_ = 1;
+  std::uint64_t next_request_id_ = 1;
+  std::uint64_t queries_served_ = 0;
+};
+
+}  // namespace ipfs::dht

@@ -1,0 +1,82 @@
+#include "dht/routing_table.hpp"
+
+#include <algorithm>
+
+namespace ipfs::dht {
+
+bool closer_to(const PeerId& target, const PeerId& a, const PeerId& b) noexcept {
+  const PeerId da = a ^ target;
+  const PeerId db = b ^ target;
+  return da < db;  // lexicographic word compare == big-endian numeric compare
+}
+
+std::optional<std::size_t> bucket_index(const PeerId& self, const PeerId& peer) noexcept {
+  const PeerId d = self ^ peer;
+  if (d.is_zero()) return std::nullopt;
+  const std::size_t common_prefix = d.leading_zero_bits();
+  return std::min(common_prefix, RoutingTable::kBucketCount - 1);
+}
+
+bool RoutingTable::add(const PeerId& peer, common::SimTime now) {
+  const auto index = bucket_index(self_, peer);
+  if (!index) return false;
+  auto& bucket = buckets_[*index];
+  for (BucketEntry& entry : bucket) {
+    if (entry.peer == peer) {
+      entry.last_seen = now;
+      return true;
+    }
+  }
+  if (bucket.size() >= kBucketSize) return false;
+  bucket.push_back({peer, now});
+  ++size_;
+  return true;
+}
+
+bool RoutingTable::remove(const PeerId& peer) {
+  const auto index = bucket_index(self_, peer);
+  if (!index) return false;
+  auto& bucket = buckets_[*index];
+  const auto it = std::find_if(bucket.begin(), bucket.end(),
+                               [&](const BucketEntry& e) { return e.peer == peer; });
+  if (it == bucket.end()) return false;
+  bucket.erase(it);
+  --size_;
+  return true;
+}
+
+bool RoutingTable::contains(const PeerId& peer) const {
+  const auto index = bucket_index(self_, peer);
+  if (!index) return false;
+  const auto& bucket = buckets_[*index];
+  return std::any_of(bucket.begin(), bucket.end(),
+                     [&](const BucketEntry& e) { return e.peer == peer; });
+}
+
+std::vector<PeerId> RoutingTable::closest(const PeerId& target,
+                                          std::size_t count) const {
+  std::vector<PeerId> peers = all_peers();
+  std::sort(peers.begin(), peers.end(), [&](const PeerId& a, const PeerId& b) {
+    return closer_to(target, a, b);
+  });
+  if (peers.size() > count) peers.resize(count);
+  return peers;
+}
+
+std::size_t RoutingTable::deepest_bucket() const noexcept {
+  for (std::size_t i = kBucketCount; i-- > 0;) {
+    if (!buckets_[i].empty()) return i;
+  }
+  return 0;
+}
+
+std::vector<PeerId> RoutingTable::all_peers() const {
+  std::vector<PeerId> peers;
+  peers.reserve(size_);
+  for (const auto& bucket : buckets_) {
+    for (const BucketEntry& entry : bucket) peers.push_back(entry.peer);
+  }
+  return peers;
+}
+
+}  // namespace ipfs::dht

@@ -1,0 +1,72 @@
+// Kademlia routing table (k-buckets over the 256-bit XOR metric).
+//
+// go-ipfs peers that announce /ipfs/kad/1.0.0 participate in this structure
+// as DHT servers; the crawler baseline (§III-C) walks it, and the
+// measurement node's position in it determines which peers seek connections
+// to the node (§III-A).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "p2p/peer_id.hpp"
+
+namespace ipfs::dht {
+
+using p2p::PeerId;
+
+/// XOR distance comparison: is `a` strictly closer to `target` than `b`?
+[[nodiscard]] bool closer_to(const PeerId& target, const PeerId& a, const PeerId& b) noexcept;
+
+/// Bucket index of `peer` relative to `self`: the length of the common
+/// prefix (0..255); `self` itself has no bucket.
+[[nodiscard]] std::optional<std::size_t> bucket_index(const PeerId& self,
+                                                      const PeerId& peer) noexcept;
+
+/// k-bucket routing table.
+class RoutingTable {
+ public:
+  static constexpr std::size_t kBucketSize = 20;  ///< Kademlia k
+  static constexpr std::size_t kBucketCount = 256;
+
+  explicit RoutingTable(PeerId self) : self_(self) {}
+
+  [[nodiscard]] const PeerId& self() const noexcept { return self_; }
+
+  /// Try to insert a peer.  Returns true when inserted or refreshed; false
+  /// when the bucket is full (classic Kademlia drops the newcomer — the
+  /// long-lived bucket head stays, which is why stable peers accumulate
+  /// inbound connections).
+  bool add(const PeerId& peer, common::SimTime now);
+
+  /// Remove a peer (connection lost / probe failed).
+  bool remove(const PeerId& peer);
+
+  [[nodiscard]] bool contains(const PeerId& peer) const;
+
+  /// Up to `count` peers closest to `target`, ascending by XOR distance.
+  [[nodiscard]] std::vector<PeerId> closest(const PeerId& target,
+                                            std::size_t count) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Index of the deepest non-empty bucket (for refresh scheduling).
+  [[nodiscard]] std::size_t deepest_bucket() const noexcept;
+
+  /// All peers currently in the table.
+  [[nodiscard]] std::vector<PeerId> all_peers() const;
+
+ private:
+  struct BucketEntry {
+    PeerId peer;
+    common::SimTime last_seen = 0;
+  };
+
+  PeerId self_;
+  std::vector<BucketEntry> buckets_[kBucketCount];
+  std::size_t size_ = 0;
+};
+
+}  // namespace ipfs::dht

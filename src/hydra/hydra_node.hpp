@@ -1,0 +1,70 @@
+// Hydra-booster node (§III-B).
+//
+// A hydra deploys multiple "heads" — full DHT-server identities with
+// distinct PIDs spread across the keyspace — on one machine, all sharing a
+// single "belly" of provider records.  The broader keyspace coverage is why
+// the paper's hydra vantage sees more PIDs than the single go-ipfs node
+// (Fig. 2), and the union of head peerstores is what the paper reports.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "dht/record_store.hpp"
+#include "node/go_ipfs_node.hpp"
+
+namespace ipfs::hydra {
+
+/// Configuration of a hydra deployment.
+struct HydraConfig {
+  int head_count = 2;
+  std::string agent = "hydra-booster/0.7.4";
+  /// Per-head connection-manager watermarks (Table I: P0 ran 1.2k/1.8k).
+  p2p::ConnManagerConfig per_head = p2p::ConnManagerConfig::with_watermarks(1200, 1800);
+  bool trim_enabled = true;
+  std::uint16_t base_port = 3001;  ///< heads listen on base_port, base_port+1, …
+};
+
+/// A multi-head DHT accelerator node.
+class HydraNode {
+ public:
+  /// Head PIDs are placed at evenly spaced keyspace prefixes so coverage is
+  /// maximal for the head count (hydra-booster's balanced generation).
+  HydraNode(sim::Simulation& simulation, net::Network& network, common::Rng rng,
+            p2p::IpAddress ip, HydraConfig config);
+
+  HydraNode(const HydraNode&) = delete;
+  HydraNode& operator=(const HydraNode&) = delete;
+
+  void start();
+  void stop();
+  void bootstrap(const std::vector<p2p::PeerId>& peers);
+
+  [[nodiscard]] std::size_t head_count() const noexcept { return heads_.size(); }
+  [[nodiscard]] node::GoIpfsNode& head(std::size_t index) { return *heads_.at(index); }
+  [[nodiscard]] const node::GoIpfsNode& head(std::size_t index) const {
+    return *heads_.at(index);
+  }
+
+  /// The shared record belly.
+  [[nodiscard]] dht::RecordStore& belly() noexcept { return belly_; }
+
+  /// Store a provider record through any head (they share the belly).
+  void put_record(const dht::RecordKey& key, const p2p::PeerId& provider,
+                  common::SimTime now);
+
+  /// Union of PIDs known across all head peerstores — the number the paper
+  /// reports for the hydra vantage (§III-C: "The number of PIDs for the
+  /// Hydra are the union of all heads").
+  [[nodiscard]] std::set<p2p::PeerId> union_known_pids() const;
+
+  /// Total open connections across heads (Fig. 5's hydra series).
+  [[nodiscard]] std::size_t total_open_connections() const;
+
+ private:
+  dht::RecordStore belly_;
+  std::vector<std::unique_ptr<node::GoIpfsNode>> heads_;
+};
+
+}  // namespace ipfs::hydra

@@ -1,0 +1,141 @@
+#include "net/network.hpp"
+
+#include <utility>
+
+namespace ipfs::net {
+
+common::SimDuration LatencyModel::one_way(const p2p::PeerId& a, const p2p::PeerId& b,
+                                          common::Rng& jitter_rng) const {
+  // Deterministic per-pair base latency: hash the unordered pair.
+  const std::uint64_t pair_hash =
+      common::mix64(a.prefix64() ^ b.prefix64(), a.prefix64() + b.prefix64());
+  const auto span = static_cast<std::uint64_t>(max_one_way - min_one_way + 1);
+  const auto base = min_one_way + static_cast<common::SimDuration>(pair_hash % span);
+  const double jitter = 1.0 + jitter_fraction * (2.0 * jitter_rng.uniform() - 1.0);
+  const auto with_jitter =
+      static_cast<common::SimDuration>(static_cast<double>(base) * jitter);
+  return std::max<common::SimDuration>(with_jitter, 1);
+}
+
+Network::Network(sim::Simulation& simulation, common::Rng rng, LatencyModel latency)
+    : simulation_(simulation), rng_(rng), latency_(latency) {}
+
+Network::~Network() {
+  for (auto& [id, host] : hosts_) {
+    host->swarm().remove_observer(taps_[id].get());
+  }
+}
+
+void Network::add_host(Host& host) {
+  const p2p::PeerId id = host.swarm().local_id();
+  hosts_[id] = &host;
+  auto tap = std::make_unique<SwarmTap>();
+  tap->network = this;
+  tap->local = id;
+  host.swarm().add_observer(tap.get());
+  taps_[id] = std::move(tap);
+}
+
+void Network::remove_host(const p2p::PeerId& id) {
+  const auto it = hosts_.find(id);
+  if (it == hosts_.end()) return;
+  Host* host = it->second;
+  // Departing node: close all its connections; remotes see kPeerOffline.
+  host->swarm().close_all(p2p::CloseReason::kPeerOffline);
+  host->swarm().remove_observer(taps_[id].get());
+  taps_.erase(id);
+  hosts_.erase(it);
+}
+
+common::SimDuration Network::latency(const p2p::PeerId& a, const p2p::PeerId& b) {
+  return latency_.one_way(a, b, rng_);
+}
+
+void Network::dial(const p2p::PeerId& from, const p2p::PeerId& to,
+                   std::function<void(bool)> on_done) {
+  const auto rtt = 2 * latency(from, to);
+  simulation_.schedule_after(rtt, [this, from, to, on_done = std::move(on_done)] {
+    const auto from_it = hosts_.find(from);
+    const auto to_it = hosts_.find(to);
+    bool success = from_it != hosts_.end() && to_it != hosts_.end() &&
+                   !connected(from, to) && to_it->second->accept_inbound(from);
+    if (success) {
+      p2p::Swarm& dialer = from_it->second->swarm();
+      p2p::Swarm& listener = to_it->second->swarm();
+      // Register the link before the swarms fire their open observers, so
+      // protocol handlers (identify!) can already send() over it.
+      Link& link = links_[make_key(from, to)];
+      const auto out_id = dialer.open_connection(to, listener.listen_address(),
+                                                 p2p::Direction::kOutbound);
+      const auto in_id = listener.open_connection(from, dialer.listen_address(),
+                                                  p2p::Direction::kInbound);
+      if (from < to) {
+        link.conn_in_a = out_id;
+        link.conn_in_b = in_id;
+      } else {
+        link.conn_in_a = in_id;
+        link.conn_in_b = out_id;
+      }
+    }
+    if (on_done) on_done(success);
+  });
+}
+
+bool Network::connected(const p2p::PeerId& a, const p2p::PeerId& b) const {
+  return links_.contains(make_key(a, b));
+}
+
+void Network::send(const p2p::PeerId& from, const p2p::PeerId& to, Message message) {
+  if (!connected(from, to)) return;
+  simulation_.schedule_after(
+      latency(from, to), [this, from, to, message = std::move(message)] {
+        const auto it = hosts_.find(to);
+        // Deliver only if the pair is still connected on arrival.
+        if (it == hosts_.end() || !connected(from, to)) return;
+        it->second->handle_message(from, message);
+      });
+}
+
+void Network::disconnect(const p2p::PeerId& initiator, const p2p::PeerId& other,
+                         p2p::CloseReason reason) {
+  const auto it = hosts_.find(initiator);
+  if (it == hosts_.end()) return;
+  // Closing our side triggers the tap, which mirrors to the counterpart.
+  it->second->swarm().close_peer(other, reason);
+}
+
+void Network::SwarmTap::on_connection_opened(const p2p::Connection& connection) {
+  (void)connection;  // opens are driven by Network::dial; nothing to mirror
+}
+
+void Network::SwarmTap::on_connection_closed(const p2p::Connection& connection) {
+  network->handle_local_close(local, connection);
+}
+
+void Network::handle_local_close(const p2p::PeerId& local,
+                                 const p2p::Connection& connection) {
+  if (mirroring_) return;  // this close *is* the mirror of a remote close
+  const auto key = make_key(local, connection.remote);
+  const auto it = links_.find(key);
+  if (it == links_.end()) return;
+  links_.erase(it);
+
+  // The counterpart experiences the close with the remote-attributed reason.
+  p2p::CloseReason mirrored;
+  switch (connection.reason) {
+    case p2p::CloseReason::kLocalTrim: mirrored = p2p::CloseReason::kRemoteTrim; break;
+    case p2p::CloseReason::kLocalClose: mirrored = p2p::CloseReason::kRemoteClose; break;
+    default: mirrored = connection.reason; break;
+  }
+  const p2p::PeerId remote = connection.remote;
+  const auto delay = latency(local, remote);
+  simulation_.schedule_after(delay, [this, remote, local, mirrored] {
+    const auto host_it = hosts_.find(remote);
+    if (host_it == hosts_.end()) return;
+    mirroring_ = true;
+    host_it->second->swarm().close_peer(local, mirrored);
+    mirroring_ = false;
+  });
+}
+
+}  // namespace ipfs::net

@@ -1,0 +1,136 @@
+// Message-level simulated network ("protocol fidelity" mode, DESIGN.md §2).
+//
+// Hosts register under their PeerId; dials complete after a sampled RTT,
+// successful dials create a mirrored pair of `Connection`s in both swarms,
+// and `send()` delivers typed messages after one-way latency.  When either
+// side closes (deliberately or via its connection manager), the counterpart
+// observes the close with the mirrored reason — exactly the asymmetry the
+// paper leans on when attributing short connections to *remote* trimming.
+#pragma once
+
+#include <any>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "p2p/swarm.hpp"
+#include "sim/simulation.hpp"
+
+namespace ipfs::net {
+
+/// Typed message envelope; `body` is a protocol-specific struct.
+struct Message {
+  std::string protocol;
+  std::any body;
+};
+
+/// A network participant: owns a swarm and handles inbound messages.
+class Host {
+ public:
+  virtual ~Host() = default;
+  [[nodiscard]] virtual p2p::Swarm& swarm() = 0;
+  /// Connection gating; return false to refuse an inbound dial.
+  [[nodiscard]] virtual bool accept_inbound(const p2p::PeerId& from) {
+    (void)from;
+    return true;
+  }
+  virtual void handle_message(const p2p::PeerId& from, const Message& message) {
+    (void)from;
+    (void)message;
+  }
+};
+
+/// Pairwise latency model: deterministic base per pair plus jitter.
+struct LatencyModel {
+  common::SimDuration min_one_way = 5 * common::kMillisecond;
+  common::SimDuration max_one_way = 150 * common::kMillisecond;
+  double jitter_fraction = 0.2;
+
+  [[nodiscard]] common::SimDuration one_way(const p2p::PeerId& a, const p2p::PeerId& b,
+                                            common::Rng& jitter_rng) const;
+};
+
+/// The simulated transport fabric connecting registered hosts.
+class Network {
+ public:
+  Network(sim::Simulation& simulation, common::Rng rng,
+          LatencyModel latency = LatencyModel{});
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Register a host (keyed by its swarm's local id) and begin observing
+  /// its swarm so closes propagate to counterparts.
+  void add_host(Host& host);
+
+  /// Remove a host; all of its connections close as kPeerOffline on the
+  /// remote side (the node left the network).
+  void remove_host(const p2p::PeerId& id);
+
+  [[nodiscard]] bool online(const p2p::PeerId& id) const {
+    return hosts_.contains(id);
+  }
+  [[nodiscard]] std::size_t host_count() const noexcept { return hosts_.size(); }
+
+  /// Asynchronously dial `to` from `from`.  `on_done(success)` fires after
+  /// one RTT.  Fails when either side is offline, the target refuses, or
+  /// the pair is already connected (one net-level connection per pair).
+  void dial(const p2p::PeerId& from, const p2p::PeerId& to,
+            std::function<void(bool)> on_done = {});
+
+  /// Deliver a message after one-way latency; dropped silently when the
+  /// pair is not connected at send time or the target is gone on arrival.
+  void send(const p2p::PeerId& from, const p2p::PeerId& to, Message message);
+
+  /// Close the pair's connection, initiated by `initiator`.
+  void disconnect(const p2p::PeerId& initiator, const p2p::PeerId& other,
+                  p2p::CloseReason reason = p2p::CloseReason::kLocalClose);
+
+  [[nodiscard]] bool connected(const p2p::PeerId& a, const p2p::PeerId& b) const;
+
+  [[nodiscard]] common::SimDuration latency(const p2p::PeerId& a,
+                                            const p2p::PeerId& b);
+
+ private:
+  struct Link {
+    p2p::ConnectionId conn_in_a = 0;  ///< connection id in the lower peer's swarm
+    p2p::ConnectionId conn_in_b = 0;  ///< connection id in the higher peer's swarm
+  };
+  /// Key with deterministic order so (a,b) and (b,a) collide.
+  using LinkKey = std::pair<p2p::PeerId, p2p::PeerId>;
+  struct LinkKeyHash {
+    std::size_t operator()(const LinkKey& key) const noexcept {
+      return key.first.prefix64() ^ (key.second.prefix64() * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+
+  static LinkKey make_key(const p2p::PeerId& a, const p2p::PeerId& b) {
+    return a < b ? LinkKey{a, b} : LinkKey{b, a};
+  }
+
+  /// Per-host observer adapter: tells the network *which* swarm closed a
+  /// connection so the counterpart side can be mirrored.
+  struct SwarmTap final : p2p::SwarmObserver {
+    Network* network = nullptr;
+    p2p::PeerId local;
+    void on_connection_opened(const p2p::Connection& connection) override;
+    void on_connection_closed(const p2p::Connection& connection) override;
+  };
+
+  void handle_local_close(const p2p::PeerId& local, const p2p::Connection& connection);
+
+  sim::Simulation& simulation_;
+  common::Rng rng_;
+  LatencyModel latency_;
+  std::unordered_map<p2p::PeerId, Host*> hosts_;
+  std::unordered_map<p2p::PeerId, std::unique_ptr<SwarmTap>> taps_;
+  std::unordered_map<LinkKey, Link, LinkKeyHash> links_;
+  /// True while the network itself is closing a counterpart connection;
+  /// suppresses infinite mirror recursion.
+  bool mirroring_ = false;
+};
+
+}  // namespace ipfs::net

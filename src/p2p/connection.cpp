@@ -1,0 +1,23 @@
+#include "p2p/connection.hpp"
+
+namespace ipfs::p2p {
+
+std::string_view to_string(Direction direction) noexcept {
+  return direction == Direction::kInbound ? "inbound" : "outbound";
+}
+
+std::string_view to_string(CloseReason reason) noexcept {
+  switch (reason) {
+    case CloseReason::kNone: return "none";
+    case CloseReason::kLocalTrim: return "local-trim";
+    case CloseReason::kRemoteTrim: return "remote-trim";
+    case CloseReason::kRemoteClose: return "remote-close";
+    case CloseReason::kLocalClose: return "local-close";
+    case CloseReason::kPeerOffline: return "peer-offline";
+    case CloseReason::kError: return "error";
+    case CloseReason::kMeasurementEnd: return "measurement-end";
+  }
+  return "?";
+}
+
+}  // namespace ipfs::p2p

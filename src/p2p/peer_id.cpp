@@ -1,0 +1,58 @@
+#include "p2p/peer_id.hpp"
+
+#include "common/rng.hpp"
+
+namespace ipfs::p2p {
+
+PeerId PeerId::from_seed(std::uint64_t key_seed) noexcept {
+  PeerId id;
+  std::uint64_t state = key_seed;
+  id.words_[0] = common::splitmix64(state);
+  id.words_[1] = common::splitmix64(state);
+  id.words_[2] = common::splitmix64(state);
+  id.words_[3] = common::splitmix64(state);
+  return id;
+}
+
+PeerId PeerId::random(common::Rng& rng) noexcept { return from_seed(rng()); }
+
+PeerId PeerId::with_prefix(std::uint64_t prefix, unsigned prefix_bits,
+                           common::Rng& rng) noexcept {
+  PeerId id = random(rng);
+  if (prefix_bits == 0) return id;
+  if (prefix_bits > 64) prefix_bits = 64;
+  const std::uint64_t mask =
+      prefix_bits == 64 ? ~0ULL : ~0ULL << (64 - prefix_bits);
+  id.words_[0] = (prefix & mask) | (id.words_[0] & ~mask);
+  return id;
+}
+
+std::size_t PeerId::leading_zero_bits() const noexcept {
+  std::size_t zeros = 0;
+  for (const std::uint64_t word : words_) {
+    if (word == 0) {
+      zeros += 64;
+      continue;
+    }
+    zeros += static_cast<std::size_t>(__builtin_clzll(word));
+    break;
+  }
+  return zeros;
+}
+
+std::string PeerId::to_string() const {
+  // Base58 alphabet over the first 72 bits, prefixed like a go-libp2p
+  // Ed25519 peer id for readability in logs and tables.
+  static constexpr char kAlphabet[] =
+      "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz";
+  std::string out = "12D3KooW";
+  std::uint64_t value = words_[0];
+  for (int i = 0; i < 11; ++i) {
+    out.push_back(kAlphabet[value % 58]);
+    value /= 58;
+    if (i == 9) value ^= words_[1];  // fold in more entropy for uniqueness
+  }
+  return out;
+}
+
+}  // namespace ipfs::p2p

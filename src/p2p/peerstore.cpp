@@ -1,0 +1,80 @@
+#include "p2p/peerstore.hpp"
+
+#include <algorithm>
+
+#include "p2p/protocols.hpp"
+
+namespace ipfs::p2p {
+
+Peerstore::Entry& Peerstore::get_or_create(const PeerId& peer, SimTime now) {
+  auto [it, inserted] = entries_.try_emplace(peer);
+  if (inserted) {
+    it->second.first_seen = now;
+    it->second.last_seen = now;
+    for (PeerstoreObserver* observer : observers_) observer->on_peer_added(peer, now);
+  }
+  return it->second;
+}
+
+bool Peerstore::touch(const PeerId& peer, SimTime now) {
+  const std::size_t before = entries_.size();
+  Entry& entry = get_or_create(peer, now);
+  entry.last_seen = std::max(entry.last_seen, now);
+  return entries_.size() != before;
+}
+
+void Peerstore::set_agent(const PeerId& peer, const std::string& agent, SimTime now) {
+  Entry& entry = get_or_create(peer, now);
+  entry.last_seen = std::max(entry.last_seen, now);
+  if (entry.agent == agent) return;
+  const std::string previous = entry.agent;
+  entry.agent = agent;
+  for (PeerstoreObserver* observer : observers_) {
+    observer->on_agent_changed(peer, previous, agent, now);
+  }
+}
+
+void Peerstore::set_protocols(const PeerId& peer,
+                              const std::vector<std::string>& protocol_list,
+                              SimTime now) {
+  Entry& entry = get_or_create(peer, now);
+  entry.last_seen = std::max(entry.last_seen, now);
+  std::set<std::string> next(protocol_list.begin(), protocol_list.end());
+  if (next == entry.protocols) return;
+  std::vector<std::string> added;
+  std::vector<std::string> removed;
+  std::set_difference(next.begin(), next.end(), entry.protocols.begin(),
+                      entry.protocols.end(), std::back_inserter(added));
+  std::set_difference(entry.protocols.begin(), entry.protocols.end(), next.begin(),
+                      next.end(), std::back_inserter(removed));
+  entry.protocols = std::move(next);
+  if (entry.protocols.contains(std::string(protocols::kKad))) {
+    entry.ever_dht_server = true;
+  }
+  for (PeerstoreObserver* observer : observers_) {
+    observer->on_protocols_changed(peer, added, removed, now);
+  }
+}
+
+void Peerstore::add_address(const PeerId& peer, const Multiaddr& address, SimTime now) {
+  Entry& entry = get_or_create(peer, now);
+  entry.last_seen = std::max(entry.last_seen, now);
+  if (entry.addresses.insert(address).second) {
+    for (PeerstoreObserver* observer : observers_) {
+      observer->on_address_added(peer, address, now);
+    }
+  }
+}
+
+const Peerstore::Entry* Peerstore::find(const PeerId& peer) const {
+  const auto it = entries_.find(peer);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool Peerstore::supports(const PeerId& peer, std::string_view protocol) const {
+  const Entry* entry = find(peer);
+  if (entry == nullptr) return false;
+  return entry->protocols.contains(std::string(protocol));
+}
+
+}  // namespace ipfs::p2p

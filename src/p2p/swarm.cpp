@@ -1,0 +1,122 @@
+#include "p2p/swarm.hpp"
+
+#include <algorithm>
+
+namespace ipfs::p2p {
+
+Swarm::Swarm(sim::Simulation& simulation, PeerId local_id, Multiaddr listen_address,
+             Config config)
+    : simulation_(simulation),
+      local_id_(local_id),
+      listen_address_(listen_address),
+      config_(config),
+      conn_manager_(config.conn_manager) {}
+
+Swarm::~Swarm() { stop(); }
+
+void Swarm::start() {
+  if (!config_.trim_enabled || trim_task_ != sim::kInvalidTask) return;
+  trim_task_ = simulation_.schedule_every(
+      conn_manager_.config().check_interval, [this] { trim_now(); },
+      conn_manager_.config().check_interval);
+}
+
+void Swarm::stop() {
+  if (trim_task_ != sim::kInvalidTask) {
+    simulation_.cancel(trim_task_);
+    trim_task_ = sim::kInvalidTask;
+  }
+}
+
+ConnectionId Swarm::open_connection(const PeerId& remote,
+                                    const Multiaddr& remote_address,
+                                    Direction direction) {
+  Connection connection;
+  connection.id = next_connection_id_++;
+  connection.remote = remote;
+  connection.remote_addr = remote_address;
+  connection.direction = direction;
+  connection.opened = simulation_.now();
+  const ConnectionId id = connection.id;
+
+  peerstore_.touch(remote, connection.opened);
+  peerstore_.add_address(remote, remote_address, connection.opened);
+
+  const auto [it, _] = open_.emplace(id, std::move(connection));
+  ++open_per_peer_[remote];
+  ++opened_total_;
+  for (SwarmObserver* observer : observers_) observer->on_connection_opened(it->second);
+
+  // An immediate trim keeps the table under HighWater even between ticks,
+  // matching go-libp2p's trim-on-connect watermark check.
+  if (config_.trim_enabled &&
+      open_.size() > static_cast<std::size_t>(conn_manager_.config().high_water)) {
+    trim_now();
+  }
+  return id;
+}
+
+bool Swarm::close_connection(ConnectionId id, CloseReason reason) {
+  const auto it = open_.find(id);
+  if (it == open_.end()) return false;
+  Connection connection = std::move(it->second);
+  open_.erase(it);
+  connection.closed = simulation_.now();
+  connection.reason = reason;
+  const auto peer_it = open_per_peer_.find(connection.remote);
+  if (peer_it != open_per_peer_.end() && --peer_it->second <= 0) {
+    open_per_peer_.erase(peer_it);
+  }
+  notify_closed(connection);
+  return true;
+}
+
+std::size_t Swarm::close_peer(const PeerId& remote, CloseReason reason) {
+  std::vector<ConnectionId> ids;
+  for (const auto& [id, connection] : open_) {
+    if (connection.remote == remote) ids.push_back(id);
+  }
+  for (const ConnectionId id : ids) close_connection(id, reason);
+  return ids.size();
+}
+
+void Swarm::close_all(CloseReason reason) {
+  std::vector<ConnectionId> ids;
+  ids.reserve(open_.size());
+  for (const auto& [id, _] : open_) ids.push_back(id);
+  for (const ConnectionId id : ids) close_connection(id, reason);
+}
+
+const Connection* Swarm::find(ConnectionId id) const {
+  const auto it = open_.find(id);
+  return it == open_.end() ? nullptr : &it->second;
+}
+
+bool Swarm::connected_to(const PeerId& remote) const {
+  return open_per_peer_.contains(remote);
+}
+
+std::vector<const Connection*> Swarm::open_connections() const {
+  std::vector<const Connection*> connections;
+  connections.reserve(open_.size());
+  for (const auto& [_, connection] : open_) connections.push_back(&connection);
+  return connections;
+}
+
+void Swarm::remove_observer(SwarmObserver* observer) {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), observer),
+                   observers_.end());
+}
+
+std::size_t Swarm::trim_now() {
+  if (!config_.trim_enabled) return 0;
+  const auto plan = conn_manager_.plan_trim(open_connections(), simulation_.now());
+  for (const ConnectionId id : plan) close_connection(id, CloseReason::kLocalTrim);
+  return plan.size();
+}
+
+void Swarm::notify_closed(const Connection& connection) {
+  for (SwarmObserver* observer : observers_) observer->on_connection_closed(connection);
+}
+
+}  // namespace ipfs::p2p

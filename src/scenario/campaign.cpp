@@ -1,0 +1,855 @@
+#include "scenario/campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/version.hpp"
+#include "p2p/protocols.hpp"
+
+namespace ipfs::scenario {
+
+namespace proto = p2p::protocols;
+using common::kDay;
+using common::kHour;
+using common::kMinute;
+using common::kSecond;
+using common::SimDuration;
+using common::SimTime;
+
+namespace {
+
+/// Deterministic per-(peer, vantage) visibility gate.
+bool pair_visible(const p2p::PeerId& pid, std::uint64_t vantage_salt, double p) {
+  const std::uint64_t h = common::mix64(pid.prefix64(), vantage_salt);
+  return static_cast<double>(h) <
+         p * static_cast<double>(std::numeric_limits<std::uint64_t>::max());
+}
+
+/// Rewrite a go-ipfs agent string per the version-change kind (Table III).
+std::string mutate_agent(common::Rng& rng, const std::string& agent,
+                         common::VersionChangeKind kind) {
+  const auto info = common::AgentInfo::parse(agent);
+  if (!info.version) return agent;
+  common::SemVer version = *info.version;
+  switch (kind) {
+    case common::VersionChangeKind::kUpgrade:
+      if (rng.bernoulli(0.7)) {
+        ++version.minor;
+        version.patch = 0;
+      } else {
+        ++version.patch;
+      }
+      version.prerelease.clear();
+      break;
+    case common::VersionChangeKind::kDowngrade:
+      if (version.minor > 0 && rng.bernoulli(0.7)) {
+        --version.minor;
+      } else if (version.patch > 0) {
+        --version.patch;
+      } else if (version.minor > 0) {
+        --version.minor;
+      } else {
+        return agent;  // cannot downgrade below 0.0.0
+      }
+      version.prerelease.clear();
+      break;
+    case common::VersionChangeKind::kChange:
+    case common::VersionChangeKind::kNone:
+      break;  // same version, new commit below
+  }
+  // Dirty transition, conditional on the current build (calibrated to
+  // Table III: main→dirty and dirty→main are rare).
+  const bool after_dirty =
+      info.dirty ? rng.bernoulli(225.0 / 234.0) : rng.bernoulli(5.0 / 296.0);
+  char commit[24];
+  if (after_dirty || kind == common::VersionChangeKind::kChange) {
+    // Self-built: a novel commit hash (required for a commit-part change).
+    std::snprintf(commit, sizeof(commit), "%08llx",
+                  static_cast<unsigned long long>(rng() & 0xffffffffULL));
+  } else {
+    // Release binaries of one version share the release commit, so
+    // up/downgrades move between *existing* agent strings (Fig. 3 stays at
+    // ~323 distinct strings despite Table III's 530 changes).
+    std::snprintf(commit, sizeof(commit), "%08llx",
+                  static_cast<unsigned long long>(
+                      common::hash64(version.to_string()) & 0xffffffffULL));
+  }
+  std::string result = "go-ipfs/" + version.to_string() + "/" + commit;
+  if (after_dirty) result += "-dirty";
+  return result;
+}
+
+}  // namespace
+
+namespace {
+/// The address a peer dials from right now (dual-homed peers alternate).
+p2p::Multiaddr dial_address(const RemotePeer& peer, common::Rng& prng) {
+  const p2p::IpAddress ip =
+      (peer.has_alt_ip && prng.bernoulli(0.35)) ? peer.alt_ip : peer.ip;
+  return p2p::Multiaddr{ip, p2p::Transport::kTcp, peer.port};
+}
+}  // namespace
+
+std::pair<std::size_t, std::size_t> CampaignResult::crawler_min_max() const {
+  std::size_t low = 0;
+  std::size_t high = 0;
+  for (const CrawlSnapshot& crawl : crawls) {
+    if (low == 0 || crawl.reached_servers < low) low = crawl.reached_servers;
+    high = std::max(high, crawl.learned_pids);
+  }
+  return {low, high};
+}
+
+struct CampaignEngine::Impl {
+  explicit Impl(CampaignConfig config_in)
+      : config(std::move(config_in)),
+        rng(config.seed),
+        population(config.population, config.period.duration, rng.child(0x707)) {}
+
+  // ---- types -------------------------------------------------------------
+
+  struct ConnMeta {
+    std::uint32_t peer = 0;
+    bool maintained = false;
+  };
+
+  struct VantageTap;  // forward
+
+  struct Vantage {
+    std::string name;
+    bool is_server = true;
+    std::uint64_t salt = 0;
+    std::unique_ptr<p2p::Swarm> swarm;
+    std::unique_ptr<measure::Recorder> recorder;
+    std::unique_ptr<VantageTap> tap;
+    std::unordered_map<p2p::ConnectionId, ConnMeta> conns;
+  };
+
+  struct VantageTap final : p2p::SwarmObserver {
+    Impl* impl = nullptr;
+    std::size_t vantage_index = 0;
+    void on_connection_opened(const p2p::Connection& connection) override {
+      (void)connection;  // engine registers metadata at open itself
+    }
+    void on_connection_closed(const p2p::Connection& connection) override {
+      impl->handle_vantage_close(vantage_index, connection);
+    }
+  };
+
+  struct PeerState {
+    bool online = false;
+    SimTime session_end = 0;
+    SimTime last_online = -common::kDay;  ///< for stale routing entries
+  };
+
+  // ---- setup -------------------------------------------------------------
+
+  void setup_vantages() {
+    common::Rng vrng = rng.child(0x5a1);
+    auto make_vantage = [&](const std::string& name, bool server, int low, int high,
+                            SimDuration poll, std::uint16_t port) {
+      Vantage vantage;
+      vantage.name = name;
+      vantage.is_server = server;
+      vantage.salt = common::mix64(common::hash64(name), config.seed);
+      p2p::Swarm::Config swarm_config;
+      swarm_config.conn_manager = p2p::ConnManagerConfig::with_watermarks(low, high);
+      swarm_config.trim_enabled = true;
+      const auto pid = p2p::PeerId::random(vrng);
+      const auto addr = p2p::Multiaddr{p2p::IpAddress::v4(0x93200000u + port),
+                                       p2p::Transport::kTcp, port};
+      vantage.swarm = std::make_unique<p2p::Swarm>(simulation, pid, addr, swarm_config);
+      measure::RecorderConfig recorder_config;
+      recorder_config.vantage = name;
+      recorder_config.poll_interval = poll;
+      vantage.recorder = std::make_unique<measure::Recorder>(simulation, *vantage.swarm,
+                                                             recorder_config);
+      vantage.tap = std::make_unique<VantageTap>();
+      vantage.tap->impl = this;
+      vantage.tap->vantage_index = vantages.size();
+      vantage.swarm->add_observer(vantage.tap.get());
+      vantages.push_back(std::move(vantage));
+    };
+
+    if (config.period.go_ipfs_present) {
+      make_vantage("go-ipfs", config.period.go_ipfs_mode == dht::Mode::kServer,
+                   config.period.go_low_water, config.period.go_high_water,
+                   30 * kSecond, 4001);
+    }
+    for (int head = 0; head < config.period.hydra_heads; ++head) {
+      make_vantage("Hydra H" + std::to_string(head), true,
+                   config.period.hydra_low_water, config.period.hydra_high_water,
+                   1 * kMinute, static_cast<std::uint16_t>(3001 + head));
+    }
+
+    peer_states.assign(population.peers().size(), PeerState{});
+    maintained_flags.assign(population.peers().size() * vantages.size(), 0);
+    for (const RemotePeer& peer : population.peers()) {
+      pid_to_peer.emplace(peer.pid, peer.index);
+    }
+  }
+
+  [[nodiscard]] bool visible(const RemotePeer& peer, const Vantage& vantage) const {
+    return pair_visible(peer.pid, vantage.salt, config.vantage_visibility);
+  }
+
+  [[nodiscard]] std::uint8_t& maintained_flag(std::uint32_t peer, std::size_t v) {
+    return maintained_flags[peer * vantages.size() + v];
+  }
+
+  // ---- session machinery ---------------------------------------------------
+
+  void schedule_population() {
+    common::Rng srng = rng.child(0x5e5);
+    for (const RemotePeer& peer : population.peers()) {
+      const CategoryParams& params = default_params(peer.category);
+      switch (params.session) {
+        case SessionKind::kAlwaysOn: {
+          // Ramp the always-on population in over the first 30 minutes so
+          // the vantage's connection table fills the way a freshly
+          // bootstrapped node's does (Fig. 5's initial climb).
+          const auto offset =
+              static_cast<SimDuration>(srng.uniform(0.0, 30.0 * kMinute));
+          const std::uint32_t index = peer.index;
+          simulation.schedule_at(offset, [this, index] {
+            start_session(index, config.period.duration + kDay);
+          });
+          break;
+        }
+        case SessionKind::kOneShot: {
+          const std::uint32_t index = peer.index;
+          simulation.schedule_at(peer.session_start, [this, index] {
+            const RemotePeer& p = population.peers()[index];
+            start_session(index, simulation.now() + p.session_length);
+          });
+          break;
+        }
+        case SessionKind::kRecurring: {
+          const auto first =
+              static_cast<SimDuration>(srng.exponential(
+                  static_cast<double>(std::max<SimDuration>(params.mean_gap, kMinute))));
+          schedule_recurring_session(peer.index, first);
+          break;
+        }
+      }
+    }
+  }
+
+  void schedule_recurring_session(std::uint32_t index, SimDuration delay) {
+    simulation.schedule_after(delay, [this, index] {
+      if (simulation.now() >= config.period.duration) return;
+      const CategoryParams& params =
+          default_params(population.peers()[index].category);
+      common::Rng prng = peer_rng(index);
+      const auto length = std::max<SimDuration>(
+          static_cast<SimDuration>(
+              prng.exponential(static_cast<double>(params.mean_session))),
+          30 * kSecond);
+      start_session(index, simulation.now() + length);
+      // Next cycle: after this session plus an offline gap.
+      const auto gap = static_cast<SimDuration>(
+          prng.exponential(static_cast<double>(std::max<SimDuration>(
+              params.mean_gap, kMinute))));
+      schedule_recurring_session(index, length + gap);
+    });
+  }
+
+  [[nodiscard]] common::Rng peer_rng(std::uint32_t index) {
+    return rng.child(common::mix64(0x9e11, (static_cast<std::uint64_t>(index) << 20) +
+                                               static_cast<std::uint64_t>(
+                                                   simulation.now() & 0xfffff)));
+  }
+
+  void start_session(std::uint32_t index, SimTime session_end) {
+    PeerState& state = peer_states[index];
+    if (state.online) return;
+    state.online = true;
+    state.session_end = session_end;
+    const RemotePeer& peer = population.peers()[index];
+    const CategoryParams& params = default_params(peer.category);
+    common::Rng prng = peer_rng(index);
+
+    if (peer.dht_server) add_online_server(index);
+
+    for (std::size_t v = 0; v < vantages.size(); ++v) {
+      if (!vantages[v].is_server) continue;  // client vantages dial out
+      if (!visible(peer, vantages[v])) continue;
+      if (params.maintain_probability > 0.0 &&
+          prng.bernoulli(params.maintain_probability)) {
+        const auto delay = static_cast<SimDuration>(prng.uniform(
+            1.0 * kSecond, static_cast<double>(90 * kSecond)));
+        schedule_maintained_open(index, v, delay);
+      }
+      if (params.queries_per_hour > 0.0) schedule_next_query(index, v);
+    }
+
+    // Session end.
+    simulation.schedule_at(session_end, [this, index, session_end] {
+      end_session(index, session_end);
+    });
+  }
+
+  void end_session(std::uint32_t index, SimTime expected_end) {
+    PeerState& state = peer_states[index];
+    if (!state.online || state.session_end != expected_end) return;
+    state.online = false;
+    state.last_online = simulation.now();
+    const RemotePeer& peer = population.peers()[index];
+    if (peer.dht_server) remove_online_server(index);
+    // Close whatever maintained connections remain (queries close on their
+    // own schedule, clamped to the session).
+    for (std::size_t v = 0; v < vantages.size(); ++v) {
+      // Maintained connections die with the session: the node left.
+      // (Conn ids are not stored per peer; the close was scheduled at open
+      // time for exactly this moment, so nothing to do here.)
+      (void)v;
+    }
+  }
+
+  // ---- connection processes ------------------------------------------------
+
+  void schedule_maintained_open(std::uint32_t index, std::size_t v, SimDuration delay) {
+    simulation.schedule_after(delay, [this, index, v] { open_maintained(index, v); });
+  }
+
+  void open_maintained(std::uint32_t index, std::size_t v) {
+    PeerState& state = peer_states[index];
+    if (!state.online || simulation.now() >= config.period.duration) return;
+    if (maintained_flag(index, v) != 0) return;  // already maintained
+    const RemotePeer& peer = population.peers()[index];
+    const CategoryParams& params = default_params(peer.category);
+    Vantage& vantage = vantages[v];
+    common::Rng prng = peer_rng(index ^ 0x40000000u);
+
+    const auto conn_id = vantage.swarm->open_connection(
+        peer.pid, dial_address(peer, prng), p2p::Direction::kInbound);
+    vantage.conns[conn_id] = {index, /*maintained=*/true};
+    maintained_flag(index, v) = 1;
+    schedule_identify(index, v, conn_id);
+
+    // The connection ends at the earlier of the remote's own trim
+    // (retention) and the session end.
+    const auto retention = static_cast<SimDuration>(prng.exponential(
+        static_cast<double>(std::max<SimDuration>(params.retention_mean, kSecond))));
+    const SimTime retention_end = simulation.now() + retention;
+    const SimTime close_at = std::min(retention_end, state.session_end);
+    const auto reason = close_at == state.session_end ? p2p::CloseReason::kPeerOffline
+                                                      : p2p::CloseReason::kRemoteTrim;
+    simulation.schedule_at(close_at, [this, v, conn_id, reason] {
+      vantages[v].swarm->close_connection(conn_id, reason);
+    });
+  }
+
+  void schedule_next_query(std::uint32_t index, std::size_t v) {
+    const PeerState& state = peer_states[index];
+    if (!state.online) return;
+    const RemotePeer& peer = population.peers()[index];
+    const CategoryParams& params = default_params(peer.category);
+    common::Rng prng = peer_rng(index ^ 0x20000000u);
+    const double mean_gap_s = 3600.0 / params.queries_per_hour;
+    const auto delay =
+        static_cast<SimDuration>(prng.exponential(mean_gap_s) * kSecond);
+    const SimTime fire_at = simulation.now() + delay;
+    if (fire_at >= state.session_end || fire_at >= config.period.duration) return;
+    simulation.schedule_at(fire_at, [this, index, v] {
+      if (!peer_states[index].online) return;
+      open_query(index, v);
+      schedule_next_query(index, v);
+    });
+  }
+
+  void open_query(std::uint32_t index, std::size_t v) {
+    // libp2p reuses an existing connection for new streams: a peer that
+    // already maintains a connection to the vantage queries over it
+    // instead of dialing a fresh one.
+    if (maintained_flag(index, v) != 0) return;
+    const RemotePeer& peer = population.peers()[index];
+    const PeerState& state = peer_states[index];
+    const CategoryParams& params = default_params(peer.category);
+    Vantage& vantage = vantages[v];
+    common::Rng prng = peer_rng(index ^ 0x10000000u);
+
+    const auto conn_id = vantage.swarm->open_connection(
+        peer.pid, dial_address(peer, prng), p2p::Direction::kInbound);
+    vantage.conns[conn_id] = {index, /*maintained=*/false};
+    schedule_identify(index, v, conn_id);
+
+    // Query connections close once the remote got its answers (lognormal
+    // around the category's median; §IV-A's "crawler-like" short contacts).
+    const double median_s = common::to_seconds(params.query_duration_median);
+    double duration_s = median_s * std::exp(0.65 * prng.normal());
+    duration_s = std::clamp(duration_s, 3.0, 15.0 * 60.0);
+    SimTime close_at = simulation.now() + common::from_seconds(duration_s);
+    close_at = std::min(close_at, state.session_end);
+    simulation.schedule_at(close_at, [this, v, conn_id] {
+      vantages[v].swarm->close_connection(conn_id, p2p::CloseReason::kRemoteClose);
+    });
+  }
+
+  void schedule_identify(std::uint32_t index, std::size_t v,
+                         p2p::ConnectionId conn_id) {
+    // Identify completes roughly one round-trip after the connection opens.
+    common::Rng prng = peer_rng(index ^ 0x08000000u);
+    const auto delay = static_cast<SimDuration>(
+        prng.uniform(0.4 * kSecond, 2.5 * kSecond));
+    simulation.schedule_after(delay, [this, index, v, conn_id] {
+      Vantage& vantage = vantages[v];
+      const p2p::Connection* connection = vantage.swarm->find(conn_id);
+      if (connection == nullptr) return;  // closed before identify finished
+      const RemotePeer& peer = population.peers()[index];
+      if (peer.agent.empty()) return;  // the "missing" stream never identifies
+      const SimTime now = simulation.now();
+      vantage.swarm->peerstore().set_agent(peer.pid, peer.agent, now);
+      vantage.swarm->peerstore().set_protocols(peer.pid, peer.protocols, now);
+      // A slice of the identified DHT servers lands in the vantage's
+      // routing table; go-ipfs tags those peers and their connections
+      // survive trims — the paper's long-lived remnant (Peer-type averages
+      // of 696 s / 2'445 s in P0 despite a 73 s median).  Stable servers
+      // dominate routing tables because flaky ones get evicted.
+      if (peer.dht_server && vantage.is_server) {
+        const double rt_probability = [&] {
+          switch (peer.category) {
+            // Calibrated so the tagged population stays below the
+            // smallest LowWater in Table I (600): ~330 tagged peers.
+            case Category::kHydra:
+            case Category::kCoreServer:
+            case Category::kEthereum: return 0.22;
+            case Category::kLightServer: return 0.015;
+            default: return 0.01;
+          }
+        }();
+        if (pair_visible(peer.pid, vantage.salt ^ 0x7ab1ULL, rt_probability)) {
+          vantage.swarm->conn_manager().set_tag(peer.pid, 50);
+        }
+      }
+    });
+  }
+
+  void handle_vantage_close(std::size_t v, const p2p::Connection& connection) {
+    Vantage& vantage = vantages[v];
+    const auto it = vantage.conns.find(connection.id);
+    if (it == vantage.conns.end()) return;
+    const ConnMeta meta = it->second;
+    vantage.conns.erase(it);
+    if (!meta.maintained) return;
+    maintained_flag(meta.peer, v) = 0;
+
+    // Maintained peers come back: after *our* trim they redial once their
+    // routing needs us again; after their own trim likewise (§IV-A — this
+    // is what turns low watermarks into high connection churn).
+    const RemotePeer& peer = population.peers()[meta.peer];
+    const CategoryParams& params = default_params(peer.category);
+    if (!params.reconnect_after_trim) return;
+    if (connection.reason != p2p::CloseReason::kLocalTrim &&
+        connection.reason != p2p::CloseReason::kRemoteTrim) {
+      return;
+    }
+    if (!peer_states[meta.peer].online) return;
+    common::Rng prng = peer_rng(meta.peer ^ 0x04000000u);
+    const auto backoff = std::max<SimDuration>(
+        static_cast<SimDuration>(prng.exponential(
+            static_cast<double>(params.reconnect_backoff_mean))),
+        30 * kSecond);
+    schedule_maintained_open(meta.peer, v, backoff);
+  }
+
+  // ---- online-server index (client-vantage dial targets) -------------------
+
+  void add_online_server(std::uint32_t index) {
+    server_pos[index] = online_servers.size();
+    online_servers.push_back(index);
+  }
+
+  void remove_online_server(std::uint32_t index) {
+    const auto it = server_pos.find(index);
+    if (it == server_pos.end()) return;
+    const std::size_t pos = it->second;
+    const std::uint32_t last = online_servers.back();
+    online_servers[pos] = last;
+    server_pos[last] = pos;
+    online_servers.pop_back();
+    server_pos.erase(it);
+  }
+
+  void schedule_client_dials() {
+    // Only DHT-client vantages dial out at a high rate (P3): the node's own
+    // lookups and gossip are its sole contact with the network.
+    for (std::size_t v = 0; v < vantages.size(); ++v) {
+      if (!vantages[v].is_server) schedule_next_client_dial(v);
+    }
+  }
+
+  void schedule_next_client_dial(std::size_t v) {
+    common::Rng prng = rng.child(common::mix64(0xd1a1, simulation.now() + v));
+    const double mean_gap_s = 3600.0 / config.client_dials_per_hour;
+    const auto delay = std::max<SimDuration>(
+        static_cast<SimDuration>(prng.exponential(mean_gap_s) * kSecond), 20);
+    simulation.schedule_after(delay, [this, v] {
+      if (simulation.now() >= config.period.duration) return;
+      client_dial(v);
+      schedule_next_client_dial(v);
+    });
+  }
+
+  void client_dial(std::size_t v) {
+    if (online_servers.empty()) return;
+    common::Rng prng = rng.child(common::mix64(0xd1a2, simulation.now()));
+    const std::uint32_t index = online_servers[static_cast<std::size_t>(
+        prng.uniform_u64(online_servers.size()))];
+    const RemotePeer& peer = population.peers()[index];
+    Vantage& vantage = vantages[v];
+
+    const auto conn_id = vantage.swarm->open_connection(
+        peer.pid, p2p::Multiaddr{peer.ip, p2p::Transport::kTcp, peer.port},
+        p2p::Direction::kOutbound);
+    vantage.conns[conn_id] = {index, /*maintained=*/false};
+    schedule_identify(index, v, conn_id);
+
+    // A DHT client is the first thing the remote's connection manager
+    // trims; durations stay short (P3's 120 s average, §IV-A).
+    const auto retention = std::max<SimDuration>(
+        static_cast<SimDuration>(prng.exponential(135.0) * kSecond), 5 * kSecond);
+    const SimTime close_at =
+        std::min(simulation.now() + retention, peer_states[index].session_end);
+    simulation.schedule_at(close_at, [this, v, conn_id] {
+      vantages[v].swarm->close_connection(conn_id, p2p::CloseReason::kRemoteTrim);
+    });
+  }
+
+  void schedule_server_outbound() {
+    // Server vantages also dial out a little (their own DHT refreshes);
+    // the paper observes "vastly more inbound than outbound" with shorter
+    // outbound durations — these are those outbound queries.
+    for (std::size_t v = 0; v < vantages.size(); ++v) {
+      if (!vantages[v].is_server) continue;
+      simulation.schedule_every(
+          45 * kSecond,
+          [this, v] {
+            if (online_servers.empty()) return;
+            common::Rng prng = rng.child(common::mix64(0x0b1, simulation.now() + v));
+            // The vantage's own refresh pace scales with the replica size so
+            // the inbound:outbound ratio matches at any population scale.
+            if (!prng.bernoulli(std::min(config.population.scale, 1.0))) return;
+            const std::uint32_t index = online_servers[static_cast<std::size_t>(
+                prng.uniform_u64(online_servers.size()))];
+            const RemotePeer& peer = population.peers()[index];
+            if (!visible(peer, vantages[v])) return;
+            Vantage& vantage = vantages[v];
+            const auto conn_id = vantage.swarm->open_connection(
+                peer.pid, p2p::Multiaddr{peer.ip, p2p::Transport::kTcp, peer.port},
+                p2p::Direction::kOutbound);
+            vantage.conns[conn_id] = {index, false};
+            schedule_identify(index, v, conn_id);
+            const auto duration = std::max<SimDuration>(
+                static_cast<SimDuration>(prng.exponential(75.0) * kSecond),
+                3 * kSecond);
+            const SimTime close_at = std::min(simulation.now() + duration,
+                                              peer_states[index].session_end);
+            simulation.schedule_at(close_at, [this, v, conn_id] {
+              vantages[v].swarm->close_connection(conn_id,
+                                                  p2p::CloseReason::kLocalClose);
+            });
+          },
+          45 * kSecond);
+    }
+  }
+
+  // ---- routing gossip: PIDs known without connections ----------------------
+
+  void schedule_gossip() {
+    for (std::size_t v = 0; v < vantages.size(); ++v) {
+      if (!vantages[v].is_server) continue;
+      simulation.schedule_every(
+          60 * kSecond,
+          [this, v] {
+            common::Rng prng = rng.child(common::mix64(0x905, simulation.now() + v));
+            // Routing responses and gossip mention peers the vantage may
+            // never connect to — the paper's ~3.6k known-but-unconnected
+            // PIDs.  Stale records reference offline peers too.  The touch
+            // rate scales with the population so scaled-down test runs keep
+            // the same observed/unobserved mix.
+            const double expected = 4.0 * config.population.scale;
+            int touches = static_cast<int>(expected);
+            if (prng.bernoulli(expected - touches)) ++touches;
+            for (int i = 0; i < touches; ++i) {
+              const auto index = static_cast<std::uint32_t>(
+                  prng.uniform_u64(population.peers().size()));
+              const RemotePeer& peer = population.peers()[index];
+              const PeerState& state = peer_states[index];
+              if (state.online || state.last_online > simulation.now() - 24 * kHour ||
+                  peer.category == Category::kCoreServer) {
+                vantages[v].swarm->peerstore().touch(peer.pid, simulation.now());
+              }
+            }
+          },
+          60 * kSecond);
+    }
+  }
+
+  // ---- active-crawler baseline ---------------------------------------------
+
+  void schedule_crawler() {
+    if (!config.enable_crawler) return;
+    simulation.schedule_every(
+        config.crawl_interval,
+        [this] {
+          common::Rng prng = rng.child(common::mix64(0xc4a1, simulation.now()));
+          CrawlSnapshot snapshot;
+          snapshot.at = simulation.now();
+          const std::string kad_protocol(proto::kKad);
+          for (const RemotePeer& peer : population.peers()) {
+            if (!peer.dht_server) continue;
+            const bool announces_kad =
+                std::find(peer.protocols.begin(), peer.protocols.end(), kad_protocol) !=
+                peer.protocols.end();
+            if (!announces_kad) continue;
+            const CategoryParams& params = default_params(peer.category);
+            const PeerState& state = peer_states[peer.index];
+            if (state.online) {
+              if (prng.bernoulli(params.crawl_visibility)) {
+                ++snapshot.reached_servers;
+                ++snapshot.learned_pids;
+              }
+            } else if (simulation.now() - state.last_online < 24 * kHour) {
+              // Stale routing-table entries: learned but not reachable.
+              if (prng.bernoulli(0.5)) ++snapshot.learned_pids;
+            }
+          }
+          crawls.push_back(snapshot);
+        },
+        config.crawl_interval / 2);
+  }
+
+  // ---- §IV-B metadata dynamics ---------------------------------------------
+
+  void schedule_metadata_dynamics() {
+    if (!config.enable_metadata_dynamics) return;
+    common::Rng mrng = rng.child(0x3e7a);
+    const double days =
+        static_cast<double>(config.period.duration) / static_cast<double>(kDay);
+    const double factor = config.population.scale * days / 3.0;
+
+    // Candidate pools.
+    std::vector<std::uint32_t> go_ipfs_stable;
+    std::vector<std::uint32_t> kad_flappers;
+    std::vector<std::uint32_t> autonat_candidates;
+    std::vector<std::uint32_t> non_go_ipfs;
+    for (const RemotePeer& peer : population.peers()) {
+      const bool go = peer.agent.rfind("go-ipfs/", 0) == 0;
+      switch (peer.category) {
+        case Category::kCoreServer:
+        case Category::kCoreClient:
+          // Always-on peers: their identify pushes are reliably observed,
+          // matching the paper's counted version changes.
+          if (go) go_ipfs_stable.push_back(peer.index);
+          break;
+        default:
+          break;
+      }
+      if (peer.dht_server && (peer.category == Category::kLightServer ||
+                              peer.category == Category::kOneTime)) {
+        kad_flappers.push_back(peer.index);
+      }
+      if (go) autonat_candidates.push_back(peer.index);
+      if (!go && !peer.agent.empty() && peer.category == Category::kNormalUser) {
+        non_go_ipfs.push_back(peer.index);
+      }
+    }
+
+    auto pick = [&mrng](const std::vector<std::uint32_t>& pool) {
+      return pool[static_cast<std::size_t>(mrng.uniform_u64(pool.size()))];
+    };
+    auto rounds = [factor](double base) {
+      return static_cast<std::size_t>(std::llround(base * factor));
+    };
+
+    // Version-change events (Table III): upgrades / downgrades / commit
+    // changes.  "Change" peers get a dirty build up front so dirty–dirty
+    // dominates that kind, as in the paper.
+    struct PlannedChange {
+      std::uint32_t peer;
+      common::VersionChangeKind kind;
+    };
+    std::vector<PlannedChange> planned;
+    if (!go_ipfs_stable.empty()) {
+      for (std::size_t i = 0; i < rounds(230); ++i) {
+        planned.push_back({pick(go_ipfs_stable), common::VersionChangeKind::kUpgrade});
+      }
+      for (std::size_t i = 0; i < rounds(113); ++i) {
+        planned.push_back({pick(go_ipfs_stable), common::VersionChangeKind::kDowngrade});
+      }
+      for (std::size_t i = 0; i < rounds(216); ++i) {
+        const std::uint32_t index = pick(go_ipfs_stable);
+        RemotePeer& peer = population.peers()[index];
+        if (peer.agent.find("-dirty") == std::string::npos && mrng.bernoulli(0.96)) {
+          peer.agent += "-dirty";  // pre-seed a dirty build
+        }
+        planned.push_back({index, common::VersionChangeKind::kChange});
+      }
+    }
+    for (const PlannedChange& change : planned) {
+      const auto at = static_cast<SimTime>(
+          mrng.uniform(0.08, 0.95) * static_cast<double>(config.period.duration));
+      simulation.schedule_at(at, [this, change] {
+        apply_version_change(change.peer, change.kind);
+      });
+    }
+
+    // One agent switched from a non-go-ipfs agent to go-ipfs (§IV-B).
+    if (!non_go_ipfs.empty() && factor >= 0.4) {
+      const std::uint32_t index = pick(non_go_ipfs);
+      const auto at = static_cast<SimTime>(
+          mrng.uniform(0.2, 0.8) * static_cast<double>(config.period.duration));
+      simulation.schedule_at(at, [this, index] {
+        common::Rng prng = peer_rng(index ^ 0x02000000u);
+        set_peer_agent(index, sample_go_ipfs_agent(prng));
+      });
+    }
+
+    // Protocol flapping: kad (server<->client role switches) and autonat.
+    schedule_flapping(mrng, kad_flappers, rounds(2481), 34.0 * days / 3.0,
+                      std::string(proto::kKad));
+    schedule_flapping(mrng, autonat_candidates, rounds(3603), 30.0 * days / 3.0,
+                      std::string(proto::kAutonat));
+  }
+
+  void schedule_flapping(common::Rng& mrng, const std::vector<std::uint32_t>& pool,
+                         std::size_t peer_count, double toggles_per_peer,
+                         const std::string& protocol) {
+    if (pool.empty() || peer_count == 0 || toggles_per_peer <= 0.0) return;
+    peer_count = std::min(peer_count, pool.size());
+    // Deterministic choice of flapping peers: sample without replacement.
+    common::Rng sampler = mrng.child(common::hash64(protocol));
+    const auto chosen = sampler.sample_without_replacement(pool.size(), peer_count);
+    const double mean_interval =
+        static_cast<double>(config.period.duration) / toggles_per_peer;
+    for (const std::size_t slot : chosen) {
+      const std::uint32_t index = pool[slot];
+      schedule_next_toggle(index, protocol, mean_interval,
+                           sampler.child(index)());
+    }
+  }
+
+  void schedule_next_toggle(std::uint32_t index, const std::string& protocol,
+                            double mean_interval, std::uint64_t seed) {
+    common::Rng prng(seed);
+    const auto delay = std::max<SimDuration>(
+        static_cast<SimDuration>(prng.exponential(mean_interval)), kMinute);
+    const std::uint64_t next_seed = prng();
+    simulation.schedule_after(delay, [this, index, protocol, mean_interval,
+                                      next_seed] {
+      if (simulation.now() >= config.period.duration) return;
+      toggle_protocol(index, protocol);
+      schedule_next_toggle(index, protocol, mean_interval, next_seed);
+    });
+  }
+
+  void toggle_protocol(std::uint32_t index, const std::string& protocol) {
+    RemotePeer& peer = population.peers()[index];
+    const auto it = std::find(peer.protocols.begin(), peer.protocols.end(), protocol);
+    if (it == peer.protocols.end()) {
+      peer.protocols.push_back(protocol);
+    } else {
+      peer.protocols.erase(it);
+    }
+    publish_protocols(index);
+  }
+
+  void apply_version_change(std::uint32_t index, common::VersionChangeKind kind) {
+    RemotePeer& peer = population.peers()[index];
+    common::Rng prng = peer_rng(index ^ 0x01000000u);
+    set_peer_agent(index, mutate_agent(prng, peer.agent, kind));
+  }
+
+  void set_peer_agent(std::uint32_t index, std::string agent) {
+    RemotePeer& peer = population.peers()[index];
+    if (peer.agent == agent) return;
+    peer.agent = std::move(agent);
+    // Identify-push to every vantage that already knows the peer.
+    for (Vantage& vantage : vantages) {
+      if (vantage.swarm->peerstore().find(peer.pid) != nullptr) {
+        vantage.swarm->peerstore().set_agent(peer.pid, peer.agent, simulation.now());
+      }
+    }
+  }
+
+  void publish_protocols(std::uint32_t index) {
+    const RemotePeer& peer = population.peers()[index];
+    for (Vantage& vantage : vantages) {
+      const auto* entry = vantage.swarm->peerstore().find(peer.pid);
+      // Only identified peers re-announce (we have no channel otherwise).
+      if (entry != nullptr && !entry->agent.empty()) {
+        vantage.swarm->peerstore().set_protocols(peer.pid, peer.protocols,
+                                                 simulation.now());
+      }
+    }
+  }
+
+  // ---- run -----------------------------------------------------------------
+
+  CampaignResult run() {
+    setup_vantages();
+    for (Vantage& vantage : vantages) {
+      vantage.recorder->start();
+      vantage.swarm->start();
+    }
+    schedule_population();
+    schedule_client_dials();
+    schedule_server_outbound();
+    schedule_gossip();
+    schedule_crawler();
+    schedule_metadata_dynamics();
+
+    simulation.run_until(config.period.duration);
+
+    CampaignResult result;
+    result.population_size = population.peers().size();
+    result.crawls = crawls;
+    for (Vantage& vantage : vantages) {
+      vantage.recorder->finish();
+      vantage.swarm->stop();
+    }
+    for (Vantage& vantage : vantages) {
+      measure::Dataset dataset = vantage.recorder->take_dataset();
+      if (vantage.name == "go-ipfs") {
+        result.go_ipfs = std::move(dataset);
+      } else {
+        result.hydra_heads.push_back(std::move(dataset));
+      }
+    }
+    if (!result.hydra_heads.empty()) {
+      measure::Dataset merged;
+      merged.vantage = "Hydra (union)";
+      for (const measure::Dataset& head : result.hydra_heads) merged.merge(head);
+      result.hydra_union = std::move(merged);
+    }
+    result.events_executed = simulation.executed_events();
+    return result;
+  }
+
+  // ---- members -------------------------------------------------------------
+
+  CampaignConfig config;
+  common::Rng rng;
+  sim::Simulation simulation;
+  Population population;
+  std::vector<Vantage> vantages;
+  std::vector<PeerState> peer_states;
+  std::vector<std::uint8_t> maintained_flags;
+  std::unordered_map<p2p::PeerId, std::uint32_t> pid_to_peer;
+  std::vector<std::uint32_t> online_servers;
+  std::unordered_map<std::uint32_t, std::size_t> server_pos;
+  std::vector<CrawlSnapshot> crawls;
+};
+
+CampaignEngine::CampaignEngine(CampaignConfig config)
+    : impl_(std::make_unique<Impl>(std::move(config))) {}
+
+CampaignEngine::~CampaignEngine() = default;
+
+CampaignResult CampaignEngine::run() { return impl_->run(); }
+
+sim::Simulation& CampaignEngine::simulation() { return impl_->simulation; }
+
+}  // namespace ipfs::scenario

@@ -1,0 +1,84 @@
+// Campaign engine: runs one measurement period (Table I) of the synthetic
+// network against the vantage nodes and returns their datasets.
+//
+// This is the "campaign fidelity" mode of DESIGN.md §2: remote peers are
+// population processes that interact *only* with the vantage swarms (whose
+// connection managers, peerstores and recorders are the real
+// implementations from p2p/ and measure/).  Remote-to-remote traffic is not
+// simulated — the paper's dataset never contains it either.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "measure/recorder.hpp"
+#include "scenario/period.hpp"
+#include "scenario/population.hpp"
+#include "sim/simulation.hpp"
+
+namespace ipfs::scenario {
+
+/// One active-crawler snapshot (the Fig. 2 baseline).
+struct CrawlSnapshot {
+  common::SimTime at = 0;
+  std::size_t reached_servers = 0;  ///< online, reachable DHT servers
+  std::size_t learned_pids = 0;     ///< incl. stale routing-table entries
+};
+
+/// Campaign configuration.
+struct CampaignConfig {
+  PeriodSpec period = PeriodSpec::P4();
+  PopulationSpec population = PopulationSpec::paper_scale();
+  std::uint64_t seed = 20211203;
+
+  /// Probability that a given remote peer's DHT position brings it into
+  /// contact with a given vantage identity at all (§III-C's horizon).
+  double vantage_visibility = 0.93;
+
+  bool enable_crawler = true;
+  common::SimDuration crawl_interval = 8 * common::kHour;
+
+  /// §IV-B dynamics: version changes and kad/autonat flapping.
+  bool enable_metadata_dynamics = true;
+
+  /// Outbound dial rate of a DHT-client vantage (P3's behaviour), per hour.
+  double client_dials_per_hour = 1980.0;
+};
+
+/// Datasets and baselines produced by a campaign run.
+struct CampaignResult {
+  std::optional<measure::Dataset> go_ipfs;
+  std::vector<measure::Dataset> hydra_heads;
+  std::optional<measure::Dataset> hydra_union;
+  std::vector<CrawlSnapshot> crawls;
+
+  std::size_t population_size = 0;
+  std::size_t events_executed = 0;
+
+  /// Crawler min/max of reached servers across snapshots (Fig. 2 band).
+  [[nodiscard]] std::pair<std::size_t, std::size_t> crawler_min_max() const;
+};
+
+/// Runs one campaign.  Use a fresh engine per run.
+class CampaignEngine {
+ public:
+  explicit CampaignEngine(CampaignConfig config);
+  ~CampaignEngine();
+
+  CampaignEngine(const CampaignEngine&) = delete;
+  CampaignEngine& operator=(const CampaignEngine&) = delete;
+
+  /// Execute the full period and collect the results.
+  [[nodiscard]] CampaignResult run();
+
+  /// The simulation clock (exposed for tests that step manually).
+  [[nodiscard]] sim::Simulation& simulation();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ipfs::scenario

@@ -1,0 +1,49 @@
+// Population builder: materialises the synthetic peer population described
+// by a `PopulationSpec` (identities, IPs, agents, protocol sets, session
+// windows) for a measurement period of a given duration.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/ip_allocator.hpp"
+#include "scenario/population_spec.hpp"
+
+namespace ipfs::scenario {
+
+/// The materialised population for one campaign.
+class Population {
+ public:
+  /// Build a population for a run of `duration`.  Arrival-stream categories
+  /// (one-time, ephemeral, rotating) scale with duration; standing
+  /// categories are duration-independent.
+  Population(const PopulationSpec& spec, common::SimDuration duration,
+             common::Rng rng);
+
+  [[nodiscard]] const std::vector<RemotePeer>& peers() const noexcept {
+    return peers_;
+  }
+  [[nodiscard]] std::vector<RemotePeer>& peers() noexcept { return peers_; }
+  [[nodiscard]] const PopulationSpec& spec() const noexcept { return spec_; }
+
+  [[nodiscard]] std::size_t count(Category category) const;
+
+  /// Peers announcing /ipfs/kad/1.0.0 (potential crawler targets).
+  [[nodiscard]] std::size_t dht_server_count() const;
+
+ private:
+  void build(common::SimDuration duration);
+  std::uint32_t scaled(std::uint32_t base) const;
+
+  RemotePeer& emplace_peer(Category category, common::Rng& rng);
+  void assign_one_shot_window(RemotePeer& peer, common::SimDuration duration,
+                              common::Rng& rng);
+  void assign_nat_groups(common::Rng& rng);
+
+  PopulationSpec spec_;
+  common::Rng rng_;
+  net::IpAllocator ips_;
+  std::vector<RemotePeer> peers_;
+};
+
+}  // namespace ipfs::scenario

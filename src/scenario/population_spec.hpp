@@ -1,0 +1,151 @@
+// Population specification: the synthetic December-2021 IPFS network.
+//
+// Every constant here is calibrated against a number the paper reports:
+//   - category sizes     → Table IV class counts + §IV-B agent tallies
+//   - agent tables       → Fig. 3 (323 agent strings, 263 go-ipfs versions)
+//   - protocol sets      → Fig. 4 (101 protocols, kad 18'845, bitswap 44'463)
+//   - IP policies        → §V-A grouping (56'536 IPs, hydra 11-IP clusters,
+//                          one IP with 2'156 rotating PIDs)
+//   - session/contact    → Table II churn magnitudes and Fig. 7 CDF shapes
+// The builder produces concrete `RemotePeer`s; scenario::CampaignEngine
+// animates them against the vantage nodes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "p2p/multiaddr.hpp"
+#include "p2p/peer_id.hpp"
+
+namespace ipfs::scenario {
+
+using common::SimDuration;
+
+/// Behavioural category of a simulated remote peer.
+enum class Category : std::uint8_t {
+  kHydra,           ///< remote hydra-booster heads (1'028 PIDs on 11 IPs)
+  kCoreServer,      ///< always-on go-ipfs DHT servers
+  kCoreClient,      ///< always-on go-ipfs DHT clients (the core user base)
+  kNormalUser,      ///< one multi-hour session per period
+  kLightServer,     ///< recurring flaky servers (incl. disguised storm)
+  kLightClient,     ///< recurring experimental clients
+  kCrawler,         ///< active crawlers: very many short connections
+  kOneTime,         ///< connect once or twice, never return
+  kRotatingPid,     ///< one operator cycling PIDs behind one IP
+  kEphemeral,       ///< so short-lived identify never completes ("missing")
+  kEthereum,        ///< the paper's lone go-ethereum curiosity
+};
+
+[[nodiscard]] std::string_view to_string(Category category) noexcept;
+inline constexpr std::size_t kCategoryCount = 11;
+
+/// How a peer's sessions recur.
+enum class SessionKind : std::uint8_t {
+  kAlwaysOn,   ///< online for the entire measurement
+  kRecurring,  ///< alternating online/offline periods
+  kOneShot,    ///< single session at a random time, then gone
+};
+
+/// Per-category behaviour parameters.
+struct CategoryParams {
+  Category category = Category::kOneTime;
+  SessionKind session = SessionKind::kAlwaysOn;
+  SimDuration mean_session = 0;  ///< session length (recurring / one-shot)
+  SimDuration mean_gap = 0;      ///< offline gap (recurring)
+
+  bool dht_server = false;       ///< announces /ipfs/kad/1.0.0
+  /// Probability of keeping a *maintained* connection per server vantage.
+  double maintain_probability = 0.0;
+  /// How long the remote side retains a maintained connection before its
+  /// own connection manager trims it (exponential mean).
+  SimDuration retention_mean = 0;
+  /// Rate of short query connections while online (per hour, Poisson).
+  double queries_per_hour = 0.0;
+  /// Median of the lognormal query-connection duration.
+  SimDuration query_duration_median = 80 * common::kSecond;
+  /// After the vantage trims a maintained connection: reconnect?
+  bool reconnect_after_trim = false;
+  SimDuration reconnect_backoff_mean = 25 * common::kMinute;
+  /// Fraction of this category reachable by an active crawler when online
+  /// (NAT'd servers hide from crawls; §III-C).
+  double crawl_visibility = 0.92;
+};
+
+/// A fully materialised remote peer.
+struct RemotePeer {
+  std::uint32_t index = 0;
+  Category category = Category::kOneTime;
+  p2p::PeerId pid;
+  p2p::IpAddress ip;
+  /// Some peers (dual-homed / address-churning) connect from a second IP;
+  /// this is what makes §V-A's group count smaller than its IP count.
+  p2p::IpAddress alt_ip;
+  bool has_alt_ip = false;
+  std::uint16_t port = 4001;
+  std::string agent;  ///< empty: identify never completes ("missing")
+  std::vector<std::string> protocols;
+  bool dht_server = false;
+  /// Pre-sampled one-shot session window (kOneShot only).
+  common::SimTime session_start = 0;
+  SimDuration session_length = 0;
+};
+
+/// Absolute-count knobs (3-day baseline, scaled by `scale`).
+struct PopulationCounts {
+  // §IV-B / §V-A anchored counts.
+  std::uint32_t hydra_heads = 1028;
+  std::uint32_t core_servers = 420;
+  std::uint32_t core_clients = 9500;
+  std::uint32_t normal_users = 15900;
+  std::uint32_t light_servers = 9755;  ///< incl. disguised_storm below
+  std::uint32_t disguised_storm = 7498;
+  std::uint32_t light_clients = 6539;
+  std::uint32_t crawlers = 586;
+  /// One-shot arrivals per *day* (fuels Fig. 6 PID growth).
+  std::uint32_t one_time_per_day = 6400;
+  std::uint32_t ephemeral_per_day = 1020;  ///< the "missing agent" stream
+  /// The §V-A mega-group: new PIDs per day behind one IP.
+  std::uint32_t rotating_pids_per_day = 773;
+  std::uint32_t ethereum_nodes = 1;
+  /// NAT households / small clouds sharing IPs (other multi-PID groups).
+  std::uint32_t nat_groups = 2500;
+  std::uint32_t nat_group_min = 2;
+  std::uint32_t nat_group_max = 8;
+};
+
+/// The full specification: counts + behaviour + metadata tables.
+struct PopulationSpec {
+  PopulationCounts counts;
+  double scale = 1.0;  ///< scales every count (tests use small scales)
+
+  [[nodiscard]] static PopulationSpec paper_scale() { return {}; }
+  [[nodiscard]] static PopulationSpec test_scale(double scale_factor) {
+    PopulationSpec spec;
+    spec.scale = scale_factor;
+    return spec;
+  }
+
+  [[nodiscard]] const CategoryParams& params(Category category) const;
+};
+
+/// Behaviour table (shared by all specs; see the calibration notes above).
+[[nodiscard]] const CategoryParams& default_params(Category category);
+
+/// Sample a go-ipfs agent string following Fig. 3's version mix.  `dirty`
+/// builds carry a "-dirty" commit suffix.
+[[nodiscard]] std::string sample_go_ipfs_agent(common::Rng& rng);
+
+/// Sample a non-go-ipfs agent string (Fig. 3's "other" mix: storm, ioi,
+/// go-qkfile, ant, …).
+[[nodiscard]] std::string sample_other_agent(common::Rng& rng);
+
+/// Protocol sets per role (Fig. 4).
+[[nodiscard]] std::vector<std::string> protocols_for(Category category,
+                                                     bool dht_server,
+                                                     const std::string& agent,
+                                                     common::Rng& rng);
+
+}  // namespace ipfs::scenario

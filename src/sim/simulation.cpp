@@ -1,0 +1,79 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ipfs::sim {
+
+void Simulation::push_event(SimTime when, Action action, TaskId id,
+                            SimDuration repeat_every) {
+  Event event;
+  event.when = std::max(when, now_);
+  event.sequence = next_sequence_++;
+  event.id = id;
+  event.repeat_every = repeat_every;
+  event.action = std::move(action);
+  queue_.push(std::move(event));
+}
+
+TaskId Simulation::schedule_at(SimTime when, Action action) {
+  const TaskId id = next_task_id_++;
+  push_event(when, std::move(action), id, 0);
+  return id;
+}
+
+TaskId Simulation::schedule_after(SimDuration delay, Action action) {
+  return schedule_at(now_ + std::max<SimDuration>(delay, 0), std::move(action));
+}
+
+TaskId Simulation::schedule_every(SimDuration interval, Action action,
+                                  SimDuration initial_delay) {
+  const TaskId id = next_task_id_++;
+  interval = std::max<SimDuration>(interval, 1);
+  if (initial_delay < 0) initial_delay = interval;
+  push_event(now_ + initial_delay, std::move(action), id, interval);
+  return id;
+}
+
+void Simulation::cancel(TaskId id) {
+  if (id != kInvalidTask) cancelled_.insert(id);
+}
+
+bool Simulation::step() {
+  while (!queue_.empty()) {
+    // priority_queue::top returns const&; the event is copied out so the
+    // queue can be popped before the action runs (the action may schedule).
+    Event event = queue_.top();
+    queue_.pop();
+    if (cancelled_.contains(event.id)) {
+      // Lazy deletion: one-shot cancelled events are dropped here; the
+      // cancellation marker persists only while an instance is in flight.
+      if (event.repeat_every == 0) cancelled_.erase(event.id);
+      continue;
+    }
+    now_ = event.when;
+    ++executed_;
+    if (event.repeat_every > 0) {
+      push_event(now_ + event.repeat_every, event.action, event.id, event.repeat_every);
+    }
+    event.action();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::run_until(SimTime limit) {
+  while (!queue_.empty() && queue_.top().when <= limit) {
+    step();
+  }
+  now_ = std::max(now_, limit);
+}
+
+void Simulation::run() {
+  while (step()) {
+  }
+}
+
+std::size_t Simulation::pending_events() const noexcept { return queue_.size(); }
+
+}  // namespace ipfs::sim

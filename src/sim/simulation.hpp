@@ -1,0 +1,91 @@
+// Discrete-event simulation engine.
+//
+// A `Simulation` owns a virtual clock and an event queue.  Events at equal
+// timestamps execute in scheduling order (FIFO), which together with the
+// seeded RNG tree makes every run bit-reproducible (DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/sim_time.hpp"
+
+namespace ipfs::sim {
+
+using common::SimDuration;
+using common::SimTime;
+
+/// Identifies a scheduled event or periodic task for cancellation.
+using TaskId = std::uint64_t;
+inline constexpr TaskId kInvalidTask = 0;
+
+/// Single-threaded discrete-event simulator.
+class Simulation {
+ public:
+  using Action = std::function<void()>;
+
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedule `action` at absolute time `when` (clamped to now()).
+  TaskId schedule_at(SimTime when, Action action);
+
+  /// Schedule `action` after `delay` (clamped to >= 0).
+  TaskId schedule_after(SimDuration delay, Action action);
+
+  /// Schedule `action` every `interval`, first firing after `initial_delay`
+  /// (negative = one full interval, the default).  Runs until cancelled.
+  TaskId schedule_every(SimDuration interval, Action action,
+                        SimDuration initial_delay = -1);
+
+  /// Cancel a pending one-shot event or periodic task.  Cancelling an
+  /// already-executed or unknown id is a no-op.
+  void cancel(TaskId id);
+
+  /// Execute the next event, if any.  Returns false when the queue is empty.
+  bool step();
+
+  /// Run events until the queue is empty or `limit` is reached; the clock is
+  /// left at `limit` (or the last event time when the queue drains first).
+  void run_until(SimTime limit);
+
+  /// Run until the queue drains completely.
+  void run();
+
+  [[nodiscard]] std::size_t executed_events() const noexcept { return executed_; }
+  [[nodiscard]] std::size_t pending_events() const noexcept;
+
+ private:
+  struct Event {
+    SimTime when = 0;
+    std::uint64_t sequence = 0;  ///< FIFO tie-break at equal times
+    TaskId id = kInvalidTask;
+    SimDuration repeat_every = 0;  ///< 0 for one-shot events
+    Action action;
+  };
+
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  void push_event(SimTime when, Action action, TaskId id, SimDuration repeat_every);
+
+  SimTime now_ = 0;
+  std::uint64_t next_sequence_ = 1;
+  TaskId next_task_id_ = 1;
+  std::size_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::unordered_set<TaskId> cancelled_;
+};
+
+}  // namespace ipfs::sim

@@ -1,0 +1,133 @@
+#include "analysis/classification.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ipfs::analysis {
+namespace {
+
+using common::kHour;
+using common::kMinute;
+using common::kSecond;
+using measure::Dataset;
+using measure::PeerIndex;
+
+/// Add a peer with `count` connections of `each` duration.
+PeerIndex add_peer_with_conns(Dataset& dataset, std::uint64_t seed, int count,
+                              common::SimDuration each, bool server = false) {
+  const PeerIndex index = dataset.intern(p2p::PeerId::from_seed(seed), 0);
+  dataset.record(index).ever_dht_server = server;
+  for (int i = 0; i < count; ++i) {
+    const auto start = static_cast<common::SimTime>(i) * (each + kMinute);
+    dataset.add_connection({index, start, start + each, p2p::Direction::kInbound,
+                            p2p::CloseReason::kRemoteClose});
+  }
+  return index;
+}
+
+TEST(Classify, PaperDefinitions) {
+  ClassifierConfig config;
+  EXPECT_EQ(classify({0, 25 * kHour, 1, false}, config), PeerClass::kHeavy);
+  EXPECT_EQ(classify({0, 3 * kHour, 1, false}, config), PeerClass::kNormal);
+  EXPECT_EQ(classify({0, kHour, 5, false}, config), PeerClass::kLight);
+  EXPECT_EQ(classify({0, kHour, 2, false}, config), PeerClass::kOneTime);
+  EXPECT_EQ(classify({0, kHour, 1, false}, config), PeerClass::kOneTime);
+}
+
+TEST(Classify, BoundaryCases) {
+  ClassifierConfig config;
+  // Exactly 24 h is NOT heavy (paper: "> 24 h").
+  EXPECT_EQ(classify({0, 24 * kHour, 1, false}, config), PeerClass::kNormal);
+  // Exactly 2 h is not normal; with >= 3 connections it is light.
+  EXPECT_EQ(classify({0, 2 * kHour, 3, false}, config), PeerClass::kLight);
+  EXPECT_EQ(classify({0, 2 * kHour, 2, false}, config), PeerClass::kOneTime);
+  // Exactly 3 connections crosses into light.
+  EXPECT_EQ(classify({0, kMinute, 3, false}, config), PeerClass::kLight);
+}
+
+TEST(ExtractFeatures, MaxDurationAndCount) {
+  Dataset dataset;
+  const PeerIndex index = dataset.intern(p2p::PeerId::from_seed(1), 0);
+  dataset.add_connection({index, 0, 10 * kSecond, p2p::Direction::kInbound,
+                          p2p::CloseReason::kRemoteClose});
+  dataset.add_connection({index, 0, 90 * kSecond, p2p::Direction::kInbound,
+                          p2p::CloseReason::kRemoteClose});
+  const auto features = extract_features(dataset);
+  ASSERT_EQ(features.size(), 1u);
+  EXPECT_EQ(features[0].max_duration, 90 * kSecond);
+  EXPECT_EQ(features[0].connection_count, 2u);
+}
+
+TEST(ExtractFeatures, NeverConnectedExcluded) {
+  Dataset dataset;
+  dataset.intern(p2p::PeerId::from_seed(1), 0);
+  EXPECT_TRUE(extract_features(dataset).empty());
+}
+
+TEST(ClassifyPeers, TableIvShape) {
+  Dataset dataset;
+  std::uint64_t seed = 1;
+  for (int i = 0; i < 5; ++i) {
+    add_peer_with_conns(dataset, seed++, 1, 30 * kHour, i % 2 == 0);  // heavy
+  }
+  for (int i = 0; i < 7; ++i) {
+    add_peer_with_conns(dataset, seed++, 2, 5 * kHour);  // normal
+  }
+  for (int i = 0; i < 9; ++i) {
+    add_peer_with_conns(dataset, seed++, 6, 10 * kMinute, true);  // light
+  }
+  for (int i = 0; i < 11; ++i) {
+    add_peer_with_conns(dataset, seed++, 1, 10 * kMinute);  // one-time
+  }
+  const auto counts = classify_peers(dataset);
+  EXPECT_EQ(counts.peers[static_cast<std::size_t>(PeerClass::kHeavy)], 5u);
+  EXPECT_EQ(counts.peers[static_cast<std::size_t>(PeerClass::kNormal)], 7u);
+  EXPECT_EQ(counts.peers[static_cast<std::size_t>(PeerClass::kLight)], 9u);
+  EXPECT_EQ(counts.peers[static_cast<std::size_t>(PeerClass::kOneTime)], 11u);
+  EXPECT_EQ(counts.total_peers(), 32u);
+  EXPECT_EQ(counts.dht_servers[static_cast<std::size_t>(PeerClass::kHeavy)], 3u);
+  EXPECT_EQ(counts.dht_servers[static_cast<std::size_t>(PeerClass::kLight)], 9u);
+}
+
+TEST(ConnectionCdfs, SplitsByRole) {
+  Dataset dataset;
+  add_peer_with_conns(dataset, 1, 1, kHour, /*server=*/true);
+  add_peer_with_conns(dataset, 2, 1, 10 * kHour, /*server=*/false);
+  const auto all = connection_cdfs(dataset, -1);
+  const auto servers = connection_cdfs(dataset, 1);
+  const auto clients = connection_cdfs(dataset, 0);
+  EXPECT_EQ(all.max_duration_s.size(), 2u);
+  EXPECT_EQ(servers.max_duration_s.size(), 1u);
+  EXPECT_EQ(clients.max_duration_s.size(), 1u);
+  // The server's (grouped) max duration is 1 h.
+  EXPECT_DOUBLE_EQ(servers.max_duration_s.sorted_samples()[0], 3600.0);
+}
+
+TEST(ConnectionCdfs, ThirtySecondGrouping) {
+  Dataset dataset;
+  const PeerIndex index = dataset.intern(p2p::PeerId::from_seed(1), 0);
+  dataset.add_connection({index, 0, 44 * kSecond, p2p::Direction::kInbound,
+                          p2p::CloseReason::kRemoteClose});
+  const auto cdfs = connection_cdfs(dataset);
+  // 44 s rounds up to the 60 s bucket (Fig. 7 groups into 30 s intervals).
+  EXPECT_DOUBLE_EQ(cdfs.max_duration_s.sorted_samples()[0], 60.0);
+}
+
+TEST(ConnectionCdfs, FractionsMatchClassShares) {
+  Dataset dataset;
+  std::uint64_t seed = 1;
+  for (int i = 0; i < 60; ++i) add_peer_with_conns(dataset, seed++, 1, 30 * kMinute);
+  for (int i = 0; i < 40; ++i) add_peer_with_conns(dataset, seed++, 1, 30 * kHour);
+  const auto cdfs = connection_cdfs(dataset);
+  EXPECT_NEAR(cdfs.max_duration_s.fraction_at_most(3600.0), 0.6, 1e-9);
+  EXPECT_NEAR(cdfs.connection_count.fraction_at_most(1.0), 1.0, 1e-9);
+}
+
+TEST(PeerClassNames, Stable) {
+  EXPECT_EQ(to_string(PeerClass::kHeavy), "Heavy");
+  EXPECT_EQ(to_string(PeerClass::kNormal), "Normal");
+  EXPECT_EQ(to_string(PeerClass::kLight), "Light");
+  EXPECT_EQ(to_string(PeerClass::kOneTime), "One-time");
+}
+
+}  // namespace
+}  // namespace ipfs::analysis

@@ -1,0 +1,108 @@
+#include "analysis/connection_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ipfs::analysis {
+namespace {
+
+using common::kSecond;
+using measure::ConnRecord;
+using measure::Dataset;
+using measure::PeerIndex;
+
+ConnRecord conn(PeerIndex peer, common::SimTime opened_s, common::SimTime closed_s,
+                p2p::Direction direction = p2p::Direction::kInbound,
+                p2p::CloseReason reason = p2p::CloseReason::kRemoteClose) {
+  return {peer, opened_s * kSecond, closed_s * kSecond, direction, reason};
+}
+
+TEST(ConnectionStats, EmptyDataset) {
+  Dataset dataset;
+  const auto stats = compute_connection_stats(dataset);
+  EXPECT_EQ(stats.all.count, 0u);
+  EXPECT_EQ(stats.peer.count, 0u);
+  EXPECT_DOUBLE_EQ(stats.all.average_s, 0.0);
+}
+
+TEST(ConnectionStats, AllVersusPeerAggregation) {
+  Dataset dataset;
+  // Peer A: three connections of 10, 20, 30 s (avg 20).
+  const PeerIndex a = dataset.intern(p2p::PeerId::from_seed(1), 0);
+  dataset.add_connection(conn(a, 0, 10));
+  dataset.add_connection(conn(a, 100, 120));
+  dataset.add_connection(conn(a, 200, 230));
+  // Peer B: one connection of 100 s.
+  const PeerIndex b = dataset.intern(p2p::PeerId::from_seed(2), 0);
+  dataset.add_connection(conn(b, 0, 100));
+
+  const auto stats = compute_connection_stats(dataset);
+  EXPECT_EQ(stats.all.count, 4u);
+  EXPECT_DOUBLE_EQ(stats.all.average_s, 40.0);   // (10+20+30+100)/4
+  EXPECT_DOUBLE_EQ(stats.all.median_s, 25.0);    // between 20 and 30
+  EXPECT_EQ(stats.peer.count, 2u);
+  EXPECT_DOUBLE_EQ(stats.peer.average_s, 60.0);  // (20 + 100) / 2
+  EXPECT_DOUBLE_EQ(stats.peer.median_s, 60.0);
+}
+
+TEST(ConnectionStats, PeersWithoutConnectionsExcludedFromPeerType) {
+  Dataset dataset;
+  const PeerIndex a = dataset.intern(p2p::PeerId::from_seed(1), 0);
+  dataset.intern(p2p::PeerId::from_seed(2), 0);  // known, never connected
+  dataset.add_connection(conn(a, 0, 50));
+  const auto stats = compute_connection_stats(dataset);
+  EXPECT_EQ(stats.peer.count, 1u);
+}
+
+TEST(ConnectionStats, DirectionBreakdown) {
+  Dataset dataset;
+  const PeerIndex a = dataset.intern(p2p::PeerId::from_seed(1), 0);
+  dataset.add_connection(conn(a, 0, 100, p2p::Direction::kInbound));
+  dataset.add_connection(conn(a, 0, 200, p2p::Direction::kInbound));
+  dataset.add_connection(conn(a, 0, 30, p2p::Direction::kOutbound));
+  const auto stats = compute_connection_stats(dataset);
+  EXPECT_EQ(stats.direction.inbound_count, 2u);
+  EXPECT_EQ(stats.direction.outbound_count, 1u);
+  EXPECT_DOUBLE_EQ(stats.direction.inbound_avg_s, 150.0);
+  EXPECT_DOUBLE_EQ(stats.direction.outbound_avg_s, 30.0);
+}
+
+TEST(ConnectionStats, AllAverageBelowPeerAverageWithChurners) {
+  // The paper's signature pattern: many short connections from few peers
+  // pull the All average below the Peer average.
+  Dataset dataset;
+  const PeerIndex churner = dataset.intern(p2p::PeerId::from_seed(1), 0);
+  for (int i = 0; i < 100; ++i) {
+    dataset.add_connection(conn(churner, i * 100, i * 100 + 10));
+  }
+  for (int p = 2; p < 12; ++p) {
+    const PeerIndex stable =
+        dataset.intern(p2p::PeerId::from_seed(static_cast<std::uint64_t>(p)), 0);
+    dataset.add_connection(conn(stable, 0, 5000));
+  }
+  const auto stats = compute_connection_stats(dataset);
+  EXPECT_LT(stats.all.average_s, stats.peer.average_s);
+  EXPECT_LT(stats.all.median_s, stats.all.average_s);
+}
+
+TEST(CloseReasons, CountsEveryCategory) {
+  Dataset dataset;
+  const PeerIndex a = dataset.intern(p2p::PeerId::from_seed(1), 0);
+  using R = p2p::CloseReason;
+  for (const R reason : {R::kLocalTrim, R::kLocalTrim, R::kRemoteTrim, R::kRemoteClose,
+                         R::kLocalClose, R::kPeerOffline, R::kError,
+                         R::kMeasurementEnd}) {
+    dataset.add_connection(conn(a, 0, 10, p2p::Direction::kInbound, reason));
+  }
+  const auto breakdown = compute_close_reasons(dataset);
+  EXPECT_EQ(breakdown.local_trim, 2u);
+  EXPECT_EQ(breakdown.remote_trim, 1u);
+  EXPECT_EQ(breakdown.remote_close, 1u);
+  EXPECT_EQ(breakdown.local_close, 1u);
+  EXPECT_EQ(breakdown.peer_offline, 1u);
+  EXPECT_EQ(breakdown.error, 1u);
+  EXPECT_EQ(breakdown.measurement_end, 1u);
+  EXPECT_EQ(breakdown.total(), 8u);
+}
+
+}  // namespace
+}  // namespace ipfs::analysis

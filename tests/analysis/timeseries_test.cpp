@@ -1,0 +1,134 @@
+#include "analysis/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ipfs::analysis {
+namespace {
+
+using common::kDay;
+using common::kHour;
+using common::kMinute;
+using common::kSecond;
+using measure::Dataset;
+using measure::PeerIndex;
+
+TEST(SimultaneousConnections, CountsOverlaps) {
+  Dataset dataset;
+  dataset.measurement_start = 0;
+  dataset.measurement_end = 100 * kSecond;
+  const PeerIndex a = dataset.intern(p2p::PeerId::from_seed(1), 0);
+  // Two overlapping connections: [0, 60) and [30, 90).
+  dataset.add_connection({a, 0, 60 * kSecond, p2p::Direction::kInbound,
+                          p2p::CloseReason::kRemoteClose});
+  dataset.add_connection({a, 30 * kSecond, 90 * kSecond, p2p::Direction::kInbound,
+                          p2p::CloseReason::kRemoteClose});
+  const auto series =
+      simultaneous_connections(dataset, 10 * kSecond, 100 * kSecond);
+  ASSERT_EQ(series.size(), 11u);
+  EXPECT_EQ(series[0].count, 1u);   // t=0
+  EXPECT_EQ(series[4].count, 2u);   // t=40: both open
+  EXPECT_EQ(series[7].count, 1u);   // t=70: only the second
+  EXPECT_EQ(series[10].count, 0u);  // t=100: none
+}
+
+TEST(SimultaneousConnections, HorizonTruncates) {
+  Dataset dataset;
+  dataset.measurement_start = 0;
+  dataset.measurement_end = 3 * kDay;
+  const PeerIndex a = dataset.intern(p2p::PeerId::from_seed(1), 0);
+  dataset.add_connection({a, 0, 3 * kDay, p2p::Direction::kInbound,
+                          p2p::CloseReason::kMeasurementEnd});
+  const auto series = simultaneous_connections(dataset, kHour, 24 * kHour);
+  EXPECT_EQ(series.size(), 25u);  // the paper plots only the first 24 h
+  EXPECT_EQ(series.back().at, 24 * kHour);
+}
+
+TEST(SimultaneousConnections, EmptyAndDegenerate) {
+  Dataset dataset;
+  dataset.measurement_start = 0;
+  dataset.measurement_end = kHour;
+  EXPECT_TRUE(simultaneous_connections(dataset, 0, kHour).empty());
+  const auto series = simultaneous_connections(dataset, kMinute, kHour);
+  for (const CountSample& sample : series) EXPECT_EQ(sample.count, 0u);
+}
+
+TEST(SeriesSummary, PeakMeanFinal) {
+  std::vector<CountSample> series{{0, 1}, {1, 5}, {2, 3}};
+  const auto summary = summarize_series(series);
+  EXPECT_EQ(summary.peak, 5u);
+  EXPECT_EQ(summary.final_value, 3u);
+  EXPECT_DOUBLE_EQ(summary.mean, 3.0);
+  EXPECT_EQ(summarize_series({}).peak, 0u);
+}
+
+TEST(PidGrowth, AllPidsMonotone) {
+  Dataset dataset;
+  dataset.measurement_start = 0;
+  dataset.measurement_end = 10 * kDay;
+  for (int i = 0; i < 50; ++i) {
+    const PeerIndex p = dataset.intern(p2p::PeerId::from_seed(100 + i),
+                                       static_cast<common::SimTime>(i) * 4 * kHour);
+    dataset.add_connection({p, static_cast<common::SimTime>(i) * 4 * kHour,
+                            static_cast<common::SimTime>(i) * 4 * kHour + kHour,
+                            p2p::Direction::kInbound, p2p::CloseReason::kRemoteClose});
+  }
+  const auto growth = pid_growth(dataset, 6 * kHour);
+  ASSERT_FALSE(growth.all_pids.empty());
+  for (std::size_t i = 1; i < growth.all_pids.size(); ++i) {
+    EXPECT_GE(growth.all_pids[i].count, growth.all_pids[i - 1].count);
+    EXPECT_GE(growth.gone_pids[i].count, growth.gone_pids[i - 1].count);
+  }
+  EXPECT_EQ(growth.all_pids.back().count, 50u);
+}
+
+TEST(PidGrowth, GoneAfterThreeDaysDisconnected) {
+  Dataset dataset;
+  dataset.measurement_start = 0;
+  dataset.measurement_end = 10 * kDay;
+  // Peer leaves at day 1 and never returns: becomes "gone" at day 4.
+  const PeerIndex leaver = dataset.intern(p2p::PeerId::from_seed(1), 0);
+  dataset.add_connection({leaver, 0, 1 * kDay, p2p::Direction::kInbound,
+                          p2p::CloseReason::kPeerOffline});
+  // Peer stays connected the whole time: never gone.
+  const PeerIndex stayer = dataset.intern(p2p::PeerId::from_seed(2), 0);
+  dataset.add_connection({stayer, 0, 10 * kDay, p2p::Direction::kInbound,
+                          p2p::CloseReason::kMeasurementEnd});
+
+  const auto growth = pid_growth(dataset, kDay, 3 * kDay);
+  ASSERT_EQ(growth.gone_pids.size(), 11u);
+  EXPECT_EQ(growth.gone_pids[3].count, 0u);   // day 3: not yet gone
+  EXPECT_EQ(growth.gone_pids[4].count, 1u);   // day 4: leaver counted
+  EXPECT_EQ(growth.gone_pids[10].count, 1u);  // stayer never gone
+}
+
+TEST(PidGrowth, ReturningPeerNotGone) {
+  Dataset dataset;
+  dataset.measurement_start = 0;
+  dataset.measurement_end = 10 * kDay;
+  const PeerIndex returner = dataset.intern(p2p::PeerId::from_seed(1), 0);
+  dataset.add_connection({returner, 0, kDay, p2p::Direction::kInbound,
+                          p2p::CloseReason::kPeerOffline});
+  dataset.add_connection({returner, 8 * kDay, 9 * kDay, p2p::Direction::kInbound,
+                          p2p::CloseReason::kPeerOffline});
+  const auto growth = pid_growth(dataset, kDay, 3 * kDay);
+  // Last activity at day 9 -> would be gone at day 12, past the window.
+  EXPECT_EQ(growth.gone_pids.back().count, 0u);
+}
+
+TEST(PidGrowth, ConnectedSeriesMergesPerPeerIntervals) {
+  Dataset dataset;
+  dataset.measurement_start = 0;
+  dataset.measurement_end = 10 * kHour;
+  const PeerIndex peer = dataset.intern(p2p::PeerId::from_seed(1), 0);
+  // Two parallel connections of one peer count as one connected PID.
+  dataset.add_connection({peer, 0, 5 * kHour, p2p::Direction::kInbound,
+                          p2p::CloseReason::kRemoteClose});
+  dataset.add_connection({peer, kHour, 6 * kHour, p2p::Direction::kOutbound,
+                          p2p::CloseReason::kRemoteClose});
+  const auto growth = pid_growth(dataset, kHour);
+  EXPECT_EQ(growth.connected_pids[2].count, 1u);  // t=2h
+  EXPECT_EQ(growth.connected_pids[8].count, 0u);  // t=8h: disconnected
+}
+
+}  // namespace
+}  // namespace ipfs::analysis

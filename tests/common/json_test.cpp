@@ -1,0 +1,99 @@
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ipfs::common {
+namespace {
+
+TEST(JsonWriter, EmptyObject) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.end_object();
+  EXPECT_EQ(out.str(), "{}");
+}
+
+TEST(JsonWriter, ScalarFields) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.field("name", "go-ipfs");
+  json.field("count", std::int64_t{42});
+  json.field("ratio", 0.5);
+  json.field("flag", true);
+  json.key("nothing");
+  json.null();
+  json.end_object();
+  EXPECT_EQ(out.str(),
+            R"({"name":"go-ipfs","count":42,"ratio":0.5,"flag":true,"nothing":null})");
+}
+
+TEST(JsonWriter, NestedArrays) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("values");
+  json.begin_array();
+  json.value(std::int64_t{1});
+  json.value(std::int64_t{2});
+  json.begin_array();
+  json.value(std::int64_t{3});
+  json.end_array();
+  json.end_array();
+  json.end_object();
+  EXPECT_EQ(out.str(), R"({"values":[1,2,[3]]})");
+}
+
+TEST(JsonWriter, EscapesSpecialCharacters) {
+  EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonWriter::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonWriter::escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(JsonWriter::escape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonWriter::escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriter, EscapedStringValue) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.field("path", "/ipfs/kad/1.0.0");
+  json.end_object();
+  EXPECT_EQ(out.str(), R"({"path":"/ipfs/kad/1.0.0"})");
+}
+
+TEST(JsonWriter, NonFiniteDoubleBecomesNull) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_array();
+  json.value(std::numeric_limits<double>::infinity());
+  json.value(std::numeric_limits<double>::quiet_NaN());
+  json.end_array();
+  EXPECT_EQ(out.str(), "[null,null]");
+}
+
+TEST(JsonWriter, PrettyPrintingIndents) {
+  std::ostringstream out;
+  JsonWriter json(out, /*pretty=*/true);
+  json.begin_object();
+  json.field("a", std::int64_t{1});
+  json.end_object();
+  EXPECT_EQ(out.str(), "{\n  \"a\": 1\n}");
+}
+
+TEST(JsonWriter, ArrayOfObjects) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_array();
+  for (int i = 0; i < 2; ++i) {
+    json.begin_object();
+    json.field("i", std::int64_t{i});
+    json.end_object();
+  }
+  json.end_array();
+  EXPECT_EQ(out.str(), R"([{"i":0},{"i":1}])");
+}
+
+}  // namespace
+}  // namespace ipfs::common

@@ -1,0 +1,63 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ipfs::common {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable table("TABLE X");
+  table.set_header({"Period", "Sum", "Avg"});
+  table.add_row({"P0", "1'285'513", "196.556 s"});
+  table.add_rule();
+  table.add_row({"P1", "355'965", "802.617 s"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("TABLE X"), std::string::npos);
+  EXPECT_NE(text.find("Period"), std::string::npos);
+  EXPECT_NE(text.find("1'285'513"), std::string::npos);
+  EXPECT_NE(text.find("P1"), std::string::npos);
+  // Columns are pipe-separated.
+  EXPECT_NE(text.find(" | "), std::string::npos);
+}
+
+TEST(TextTable, CountsRows) {
+  TextTable table("t");
+  EXPECT_EQ(table.row_count(), 0u);
+  table.add_row({"a"});
+  table.add_rule();
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(FormatPercent, OneDecimal) {
+  EXPECT_EQ(format_percent(0.531), "53.1 %");
+  EXPECT_EQ(format_percent(0.0), "0.0 %");
+  EXPECT_EQ(format_percent(1.0), "100.0 %");
+}
+
+TEST(FormatFixed, RespectsDecimals) {
+  EXPECT_EQ(format_fixed(196.5558, 3), "196.556");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+}
+
+TEST(LogBar, MonotoneInCount) {
+  const auto small = log_bar(10, 100000, 40).size();
+  const auto medium = log_bar(1000, 100000, 40).size();
+  const auto large = log_bar(100000, 100000, 40).size();
+  EXPECT_LT(small, medium);
+  EXPECT_LT(medium, large);
+  EXPECT_EQ(large, 40u);
+}
+
+TEST(LogBar, EdgeCases) {
+  EXPECT_TRUE(log_bar(0, 100, 40).empty());
+  EXPECT_TRUE(log_bar(10, 0, 40).empty());
+  EXPECT_TRUE(log_bar(10, 100, 0).empty());
+  EXPECT_FALSE(log_bar(1, 100, 40).empty());  // nonzero count always visible
+}
+
+}  // namespace
+}  // namespace ipfs::common

@@ -1,0 +1,75 @@
+#include "dht/record_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ipfs::dht {
+namespace {
+
+using common::kHour;
+
+TEST(RecordStore, PutAndGet) {
+  RecordStore store;
+  const RecordKey key = RecordKey::from_seed(1);
+  const p2p::PeerId provider = p2p::PeerId::from_seed(2);
+  store.put(key, provider, 0);
+  const auto providers = store.get(key, 1000);
+  ASSERT_EQ(providers.size(), 1u);
+  EXPECT_EQ(providers[0], provider);
+  EXPECT_EQ(store.key_count(), 1u);
+  EXPECT_EQ(store.record_count(), 1u);
+}
+
+TEST(RecordStore, GetUnknownKeyIsEmpty) {
+  RecordStore store;
+  EXPECT_TRUE(store.get(RecordKey::from_seed(1), 0).empty());
+}
+
+TEST(RecordStore, RecordsExpire) {
+  RecordStore store;
+  const RecordKey key = RecordKey::from_seed(1);
+  store.put(key, p2p::PeerId::from_seed(2), 0, 10 * kHour);
+  EXPECT_EQ(store.get(key, 9 * kHour).size(), 1u);
+  EXPECT_TRUE(store.get(key, 10 * kHour).empty());
+}
+
+TEST(RecordStore, ReannounceExtendsExpiry) {
+  RecordStore store;
+  const RecordKey key = RecordKey::from_seed(1);
+  const p2p::PeerId provider = p2p::PeerId::from_seed(2);
+  store.put(key, provider, 0, 10 * kHour);
+  store.put(key, provider, 8 * kHour, 10 * kHour);
+  EXPECT_EQ(store.get(key, 15 * kHour).size(), 1u);
+  EXPECT_EQ(store.record_count(), 1u);  // same provider, not duplicated
+}
+
+TEST(RecordStore, MultipleProvidersPerKey) {
+  RecordStore store;
+  const RecordKey key = RecordKey::from_seed(1);
+  store.put(key, p2p::PeerId::from_seed(2), 0);
+  store.put(key, p2p::PeerId::from_seed(3), 0);
+  EXPECT_EQ(store.get(key, 1).size(), 2u);
+  EXPECT_EQ(store.key_count(), 1u);
+  EXPECT_EQ(store.record_count(), 2u);
+}
+
+TEST(RecordStore, SweepRemovesExpired) {
+  RecordStore store;
+  for (int i = 0; i < 10; ++i) {
+    store.put(RecordKey::from_seed(static_cast<std::uint64_t>(i)),
+              p2p::PeerId::from_seed(100), 0, (i % 2 == 0) ? 1 * kHour : 100 * kHour);
+  }
+  EXPECT_EQ(store.sweep(50 * kHour), 5u);
+  EXPECT_EQ(store.key_count(), 5u);
+  EXPECT_EQ(store.record_count(), 5u);
+}
+
+TEST(RecordStore, DefaultTtlIsOneDay) {
+  RecordStore store;
+  const RecordKey key = RecordKey::from_seed(1);
+  store.put(key, p2p::PeerId::from_seed(2), 0);
+  EXPECT_EQ(store.get(key, 23 * kHour).size(), 1u);
+  EXPECT_TRUE(store.get(key, 25 * kHour).empty());
+}
+
+}  // namespace
+}  // namespace ipfs::dht

@@ -1,0 +1,132 @@
+#include "dht/routing_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace ipfs::dht {
+namespace {
+
+TEST(XorDistance, CloserToSelfEvaluates) {
+  const PeerId target = PeerId::from_seed(1);
+  const PeerId near = target;  // distance 0
+  const PeerId far = PeerId::from_seed(2);
+  EXPECT_TRUE(closer_to(target, near, far));
+  EXPECT_FALSE(closer_to(target, far, near));
+  EXPECT_FALSE(closer_to(target, far, far));  // strict
+}
+
+TEST(BucketIndex, SelfHasNoBucket) {
+  const PeerId self = PeerId::from_seed(1);
+  EXPECT_FALSE(bucket_index(self, self).has_value());
+}
+
+TEST(BucketIndex, MatchesCommonPrefixLength) {
+  common::Rng rng(7);
+  const PeerId self = PeerId::with_prefix(0x0000000000000000ULL, 8, rng);
+  const PeerId flipped_first = PeerId::with_prefix(0x8000000000000000ULL, 8, rng);
+  const auto index = bucket_index(self, flipped_first);
+  ASSERT_TRUE(index.has_value());
+  EXPECT_EQ(*index, 0u);
+}
+
+TEST(RoutingTable, AddAndContains) {
+  RoutingTable table(PeerId::from_seed(0));
+  const PeerId peer = PeerId::from_seed(1);
+  EXPECT_TRUE(table.add(peer, 0));
+  EXPECT_TRUE(table.contains(peer));
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(RoutingTable, AddSelfRejected) {
+  const PeerId self = PeerId::from_seed(0);
+  RoutingTable table(self);
+  EXPECT_FALSE(table.add(self, 0));
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(RoutingTable, ReAddRefreshesNotDuplicates) {
+  RoutingTable table(PeerId::from_seed(0));
+  const PeerId peer = PeerId::from_seed(1);
+  EXPECT_TRUE(table.add(peer, 0));
+  EXPECT_TRUE(table.add(peer, 100));
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(RoutingTable, RemovePeer) {
+  RoutingTable table(PeerId::from_seed(0));
+  const PeerId peer = PeerId::from_seed(1);
+  table.add(peer, 0);
+  EXPECT_TRUE(table.remove(peer));
+  EXPECT_FALSE(table.remove(peer));
+  EXPECT_FALSE(table.contains(peer));
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(RoutingTable, BucketCapacityEnforced) {
+  // Fill bucket 0 (peers whose first bit differs from self's).
+  common::Rng rng(3);
+  const PeerId self = PeerId::with_prefix(0, 1, rng);
+  RoutingTable table(self);
+  std::size_t accepted = 0;
+  for (int i = 0; i < 200; ++i) {
+    const PeerId candidate = PeerId::with_prefix(0x8000000000000000ULL, 1, rng);
+    if (table.add(candidate, 0)) ++accepted;
+  }
+  EXPECT_EQ(accepted, RoutingTable::kBucketSize);
+  EXPECT_EQ(table.size(), RoutingTable::kBucketSize);
+}
+
+TEST(RoutingTable, ClosestReturnsSortedByDistance) {
+  common::Rng rng(4);
+  RoutingTable table(PeerId::from_seed(0));
+  for (int i = 1; i <= 500; ++i) {
+    table.add(PeerId::random(rng), 0);
+  }
+  const PeerId target = PeerId::random(rng);
+  const auto closest = table.closest(target, 20);
+  ASSERT_LE(closest.size(), 20u);
+  ASSERT_GE(closest.size(), 1u);
+  for (std::size_t i = 1; i < closest.size(); ++i) {
+    EXPECT_TRUE(closer_to(target, closest[i - 1], closest[i]) ||
+                closest[i - 1] == closest[i]);
+  }
+  // The returned set must be the true k-nearest of the table.
+  const auto all = table.all_peers();
+  std::size_t closer_count = 0;
+  for (const PeerId& peer : all) {
+    if (closer_to(target, peer, closest.back())) ++closer_count;
+  }
+  EXPECT_LT(closer_count, closest.size());
+}
+
+TEST(RoutingTable, ClosestWithFewerPeersThanRequested) {
+  RoutingTable table(PeerId::from_seed(0));
+  table.add(PeerId::from_seed(1), 0);
+  table.add(PeerId::from_seed(2), 0);
+  EXPECT_EQ(table.closest(PeerId::from_seed(3), 20).size(), 2u);
+}
+
+TEST(RoutingTable, AllPeersMatchesSize) {
+  common::Rng rng(5);
+  RoutingTable table(PeerId::from_seed(0));
+  for (int i = 0; i < 300; ++i) table.add(PeerId::random(rng), 0);
+  EXPECT_EQ(table.all_peers().size(), table.size());
+}
+
+TEST(RoutingTable, DeepestBucketGrowsWithClosePeers) {
+  common::Rng rng(6);
+  const PeerId self = PeerId::from_seed(42);
+  RoutingTable table(self);
+  // A peer sharing the top 16 bits of self lands in a deep bucket.
+  const PeerId close_peer = PeerId::with_prefix(self.prefix64(), 16, rng);
+  if (close_peer != self) {
+    table.add(close_peer, 0);
+    EXPECT_GE(table.deepest_bucket(), 16u);
+  }
+}
+
+}  // namespace
+}  // namespace ipfs::dht

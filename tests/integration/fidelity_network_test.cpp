@@ -1,0 +1,162 @@
+// End-to-end protocol-fidelity test: a message-level IPFS network with
+// servers, clients, a hydra and an active crawler — the full §III setup at
+// small scale, on the real (non-campaign) code path.
+#include <gtest/gtest.h>
+
+#include "crawler/crawler.hpp"
+#include "hydra/hydra_node.hpp"
+#include "measure/recorder.hpp"
+
+#include "../testing/fidelity.hpp"
+
+namespace ipfs {
+namespace {
+
+using common::kMinute;
+using common::kSecond;
+using ipfs::testing::FidelityNet;
+
+/// Count peer-offline closes in a dataset.
+std::size_t analysis_reason_count(const measure::Dataset& dataset) {
+  std::size_t count = 0;
+  for (const auto& record : dataset.connections()) {
+    if (record.reason == p2p::CloseReason::kPeerOffline) ++count;
+  }
+  return count;
+}
+
+TEST(FidelityIntegration, PassiveMeasurementObservesLiveNetwork) {
+  FidelityNet net;
+
+  // The measurement node: a go-ipfs DHT server, as in §III-A.
+  auto& vantage = net.add_node(node::NodeConfig::dht_server());
+  measure::RecorderConfig recorder_config;
+  recorder_config.vantage = "go-ipfs";
+  recorder_config.quantize = false;
+  measure::Recorder recorder(net.sim(), vantage.swarm(), recorder_config);
+  vantage.swarm().peerstore().add_observer(&recorder);
+  recorder.start();
+
+  // The network: 15 servers, 5 clients, everyone bootstrapping via the
+  // vantage (it is a bootstrap node from the network's perspective).
+  std::vector<node::GoIpfsNode*> peers;
+  for (int i = 0; i < 15; ++i) {
+    peers.push_back(&net.add_node(node::NodeConfig::dht_server()));
+  }
+  for (int i = 0; i < 5; ++i) {
+    peers.push_back(&net.add_node(node::NodeConfig::dht_client()));
+  }
+  for (auto* peer : peers) peer->bootstrap({vantage.id()});
+  net.sim().run_until(20 * kMinute);
+
+  // One server leaves mid-measurement (node churn, not connection churn).
+  peers[3]->stop();
+  net.sim().run_until(net.sim().now() + 10 * kMinute);
+
+  recorder.finish();
+  const measure::Dataset& dataset = recorder.dataset();
+
+  // The vantage saw every peer that dialed it, with agents and protocols.
+  EXPECT_GE(dataset.peer_count(), 20u);
+  EXPECT_GT(dataset.connection_count(), 0u);
+  std::size_t servers_seen = 0;
+  std::size_t identified = 0;
+  for (const auto& peer : dataset.peers()) {
+    if (peer.ever_dht_server) ++servers_seen;
+    if (!peer.agent_history.empty()) ++identified;
+  }
+  EXPECT_GE(servers_seen, 15u);
+  EXPECT_GE(identified, 20u);
+
+  // The departed node's connection closed as peer-offline.
+  const auto reasons = analysis_reason_count(dataset);
+  EXPECT_GE(reasons, 1u);
+}
+
+TEST(FidelityIntegration, CrawlerAndPassiveHorizonsDiffer) {
+  FidelityNet net;
+  auto& vantage = net.add_node(node::NodeConfig::dht_server());
+
+  constexpr int kServers = 12;
+  constexpr int kClients = 8;
+  for (int i = 0; i < kServers; ++i) {
+    net.add_node(node::NodeConfig::dht_server()).bootstrap({vantage.id()});
+  }
+  for (int i = 0; i < kClients; ++i) {
+    net.add_node(node::NodeConfig::dht_client()).bootstrap({vantage.id()});
+  }
+  net.sim().run_until(20 * kMinute);
+
+  crawler::Crawler crawler(net.sim(), net.network(), p2p::PeerId::random(net.rng()),
+                           net::swarm_tcp_addr(net.ips().unique_v4()), {});
+  crawler.start();
+  crawler::CrawlResult crawl;
+  crawler.crawl({vantage.id()}, [&](crawler::CrawlResult r) { crawl = std::move(r); });
+  net.sim().run_until(net.sim().now() + 30 * kMinute);
+
+  // Active view: DHT servers only (vantage + the 12 servers).
+  EXPECT_EQ(crawl.reached.size(), kServers + 1u);
+
+  // Passive view: the vantage's peerstore holds clients too.
+  std::size_t clients_seen = 0;
+  for (const auto& [pid, entry] : vantage.swarm().peerstore().entries()) {
+    if (!entry.ever_dht_server && !entry.agent.empty()) ++clients_seen;
+  }
+  EXPECT_GE(clients_seen, static_cast<std::size_t>(kClients));
+  crawler.stop();
+}
+
+TEST(FidelityIntegration, HydraHeadsWidenTheHorizon) {
+  FidelityNet net;
+  auto& bootstrap_node = net.add_node(node::NodeConfig::dht_server());
+
+  hydra::HydraConfig hydra_config;
+  hydra_config.head_count = 2;
+  hydra::HydraNode hydra(net.sim(), net.network(), common::Rng(5),
+                         net.ips().unique_v4(), hydra_config);
+  hydra.start();
+  hydra.bootstrap({bootstrap_node.id()});
+
+  for (int i = 0; i < 16; ++i) {
+    net.add_node(node::NodeConfig::dht_server()).bootstrap({bootstrap_node.id()});
+  }
+  net.sim().run_until(30 * kMinute);
+
+  // Both heads participate in the DHT and collect peers; the union covers
+  // at least what the single bootstrap node collected via inbound dials.
+  EXPECT_GT(hydra.union_known_pids().size(), 2u);
+  EXPECT_GT(hydra.head(0).dht().routing_table().size(), 0u);
+  EXPECT_GT(hydra.head(1).dht().routing_table().size(), 0u);
+  hydra.stop();
+}
+
+TEST(FidelityIntegration, TrimmingCausesConnectionChurnNotNodeChurn) {
+  // The paper's headline finding at protocol fidelity: every node stays
+  // online, yet connections churn because of the connection manager.
+  FidelityNet net;
+  auto& vantage = net.add_node(node::NodeConfig::dht_server(3, 5));
+  measure::RecorderConfig recorder_config;
+  recorder_config.quantize = false;
+  measure::Recorder recorder(net.sim(), vantage.swarm(), recorder_config);
+  recorder.start();
+
+  for (int i = 0; i < 10; ++i) {
+    net.add_node(node::NodeConfig::dht_client()).bootstrap({vantage.id()});
+  }
+  net.sim().run_until(30 * kMinute);
+  recorder.finish();
+
+  const auto reasons = [&] {
+    std::size_t trims = 0;
+    for (const auto& record : recorder.dataset().connections()) {
+      if (record.reason == p2p::CloseReason::kLocalTrim) ++trims;
+    }
+    return trims;
+  }();
+  // No node ever left, yet the vantage closed connections by trimming.
+  EXPECT_GT(reasons, 0u);
+  EXPECT_LE(vantage.swarm().open_count(), 5u);
+}
+
+}  // namespace
+}  // namespace ipfs

@@ -1,0 +1,162 @@
+#include "measure/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "p2p/protocols.hpp"
+
+namespace ipfs::measure {
+namespace {
+
+using common::kMinute;
+using common::kSecond;
+
+class RecorderTest : public ::testing::Test {
+ protected:
+  RecorderTest()
+      : swarm(sim, p2p::PeerId::from_seed(1),
+              p2p::Multiaddr{p2p::IpAddress::v4(1), p2p::Transport::kTcp, 4001},
+              {p2p::ConnManagerConfig::with_watermarks(0, 0), false}) {}
+
+  Recorder make_recorder(bool quantize = true) {
+    RecorderConfig config;
+    config.vantage = "test";
+    config.poll_interval = 30 * kSecond;
+    config.quantize = quantize;
+    return Recorder(sim, swarm, config);
+  }
+
+  p2p::Multiaddr addr(std::uint32_t ip) {
+    return p2p::Multiaddr{p2p::IpAddress::v4(ip), p2p::Transport::kTcp, 4001};
+  }
+
+  sim::Simulation sim;
+  p2p::Swarm swarm;
+};
+
+TEST_F(RecorderTest, RecordsClosedConnection) {
+  Recorder recorder = make_recorder(/*quantize=*/false);
+  recorder.start();
+  const auto pid = p2p::PeerId::from_seed(2);
+  const auto id = swarm.open_connection(pid, addr(2), p2p::Direction::kInbound);
+  sim.run_until(90 * kSecond);
+  swarm.close_connection(id, p2p::CloseReason::kRemoteTrim);
+  recorder.finish();
+
+  const Dataset& dataset = recorder.dataset();
+  EXPECT_EQ(dataset.peer_count(), 1u);
+  ASSERT_EQ(dataset.connection_count(), 1u);
+  const ConnRecord& record = dataset.connections()[0];
+  EXPECT_EQ(record.opened, 0);
+  EXPECT_EQ(record.closed, 90 * kSecond);
+  EXPECT_EQ(record.reason, p2p::CloseReason::kRemoteTrim);
+  EXPECT_EQ(record.direction, p2p::Direction::kInbound);
+}
+
+TEST_F(RecorderTest, QuantizationRoundsUpToPollTicks) {
+  Recorder recorder = make_recorder(/*quantize=*/true);
+  recorder.start();
+  sim.run_until(10 * kSecond);
+  const auto id = swarm.open_connection(p2p::PeerId::from_seed(2), addr(2),
+                                        p2p::Direction::kInbound);
+  sim.run_until(95 * kSecond);
+  swarm.close_connection(id, p2p::CloseReason::kRemoteClose);
+  recorder.finish();
+  const ConnRecord& record = recorder.dataset().connections()[0];
+  // A 30 s poller first sees the open at t=30 s and the close at t=120 s.
+  EXPECT_EQ(record.opened, 30 * kSecond);
+  EXPECT_EQ(record.closed, 120 * kSecond);
+}
+
+TEST_F(RecorderTest, OpenConnectionsClosedAtMeasurementEnd) {
+  Recorder recorder = make_recorder();
+  recorder.start();
+  swarm.open_connection(p2p::PeerId::from_seed(2), addr(2), p2p::Direction::kInbound);
+  sim.run_until(10 * kMinute);
+  recorder.finish();
+  ASSERT_EQ(recorder.dataset().connection_count(), 1u);
+  const ConnRecord& record = recorder.dataset().connections()[0];
+  EXPECT_EQ(record.reason, p2p::CloseReason::kMeasurementEnd);
+  EXPECT_EQ(record.closed, 10 * kMinute);
+}
+
+TEST_F(RecorderTest, IgnoresEventsBeforeStartAndAfterFinish) {
+  Recorder recorder = make_recorder();
+  // Connection opened before start: its close is not recorded.
+  const auto early = swarm.open_connection(p2p::PeerId::from_seed(2), addr(2),
+                                           p2p::Direction::kInbound);
+  recorder.start();
+  swarm.close_connection(early, p2p::CloseReason::kRemoteClose);
+  recorder.finish();
+  // After finish new activity is ignored.
+  swarm.open_connection(p2p::PeerId::from_seed(3), addr(3), p2p::Direction::kInbound);
+  EXPECT_EQ(recorder.dataset().connection_count(), 0u);
+}
+
+TEST_F(RecorderTest, CapturesConnectedIps) {
+  Recorder recorder = make_recorder();
+  recorder.start();
+  const auto pid = p2p::PeerId::from_seed(2);
+  swarm.open_connection(pid, addr(10), p2p::Direction::kInbound);
+  swarm.open_connection(pid, addr(20), p2p::Direction::kInbound);
+  recorder.finish();
+  const PeerRecord* record = recorder.dataset().find(pid);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->connected_ips.size(), 2u);
+}
+
+TEST_F(RecorderTest, AgentHistoryFromPeerstore) {
+  Recorder recorder = make_recorder(/*quantize=*/false);
+  recorder.start();
+  const auto pid = p2p::PeerId::from_seed(2);
+  swarm.peerstore().set_agent(pid, "go-ipfs/0.10.0/a", sim.now());
+  sim.run_until(5 * kMinute);
+  swarm.peerstore().set_agent(pid, "go-ipfs/0.11.0/b", sim.now());
+  recorder.finish();
+  const PeerRecord* record = recorder.dataset().find(pid);
+  ASSERT_NE(record, nullptr);
+  ASSERT_EQ(record->agent_history.size(), 2u);
+  EXPECT_EQ(record->agent_history[0].agent, "go-ipfs/0.10.0/a");
+  EXPECT_EQ(record->agent_history[1].agent, "go-ipfs/0.11.0/b");
+  EXPECT_EQ(record->agent_history[1].at, 5 * kMinute);
+}
+
+TEST_F(RecorderTest, ProtocolEventsAndServerFlag) {
+  Recorder recorder = make_recorder(/*quantize=*/false);
+  recorder.start();
+  const auto pid = p2p::PeerId::from_seed(2);
+  const std::string kad(p2p::protocols::kKad);
+  swarm.peerstore().set_protocols(pid, {kad}, sim.now());
+  sim.run_until(kMinute);
+  swarm.peerstore().set_protocols(pid, {}, sim.now());
+  recorder.finish();
+  const PeerRecord* record = recorder.dataset().find(pid);
+  ASSERT_NE(record, nullptr);
+  EXPECT_TRUE(record->ever_dht_server);
+  ASSERT_EQ(record->protocol_events.size(), 2u);
+  EXPECT_TRUE(record->protocol_events[0].added);
+  EXPECT_FALSE(record->protocol_events[1].added);
+  EXPECT_TRUE(record->protocols_ever.contains(kad));
+}
+
+TEST_F(RecorderTest, TakeDatasetMovesOut) {
+  Recorder recorder = make_recorder();
+  recorder.start();
+  swarm.open_connection(p2p::PeerId::from_seed(2), addr(2), p2p::Direction::kInbound);
+  recorder.finish();
+  Dataset dataset = recorder.take_dataset();
+  EXPECT_EQ(dataset.peer_count(), 1u);
+}
+
+TEST_F(RecorderTest, MeasurementWindowRecorded) {
+  Recorder recorder = make_recorder();
+  sim.run_until(kMinute);
+  recorder.start();
+  sim.run_until(11 * kMinute);
+  recorder.finish();
+  EXPECT_EQ(recorder.dataset().measurement_start, kMinute);
+  EXPECT_EQ(recorder.dataset().measurement_end, 11 * kMinute);
+  EXPECT_EQ(recorder.dataset().duration(), 10 * kMinute);
+}
+
+}  // namespace
+}  // namespace ipfs::measure

@@ -1,0 +1,191 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ipfs::net {
+namespace {
+
+using common::kSecond;
+using p2p::CloseReason;
+using p2p::Direction;
+using p2p::PeerId;
+
+/// Minimal host that records messages and optionally refuses dials.
+struct TestHost : Host {
+  TestHost(sim::Simulation& sim, std::uint64_t seed)
+      : swarm_(sim, PeerId::from_seed(seed),
+               p2p::Multiaddr{p2p::IpAddress::v4(static_cast<std::uint32_t>(seed)),
+                              p2p::Transport::kTcp, 4001},
+               {p2p::ConnManagerConfig::with_watermarks(0, 0), false}) {}
+
+  p2p::Swarm& swarm() override { return swarm_; }
+  bool accept_inbound(const PeerId&) override { return accept; }
+  void handle_message(const PeerId& from, const Message& message) override {
+    received.emplace_back(from, message.protocol);
+  }
+
+  p2p::Swarm swarm_;
+  bool accept = true;
+  std::vector<std::pair<PeerId, std::string>> received;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest()
+      : network(sim, common::Rng(1)), alice(sim, 1), bob(sim, 2), carol(sim, 3) {
+    network.add_host(alice);
+    network.add_host(bob);
+    network.add_host(carol);
+  }
+
+  sim::Simulation sim;
+  Network network;
+  TestHost alice;
+  TestHost bob;
+  TestHost carol;
+};
+
+TEST_F(NetworkTest, DialCreatesMirroredConnections) {
+  bool done = false;
+  bool ok = false;
+  network.dial(alice.swarm().local_id(), bob.swarm().local_id(), [&](bool success) {
+    done = true;
+    ok = success;
+  });
+  EXPECT_FALSE(done);  // completes only after the RTT elapses
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(network.connected(alice.swarm().local_id(), bob.swarm().local_id()));
+  EXPECT_EQ(alice.swarm().open_count(), 1u);
+  EXPECT_EQ(bob.swarm().open_count(), 1u);
+  EXPECT_EQ(alice.swarm().open_connections()[0]->direction, Direction::kOutbound);
+  EXPECT_EQ(bob.swarm().open_connections()[0]->direction, Direction::kInbound);
+}
+
+TEST_F(NetworkTest, DialToOfflinePeerFails) {
+  bool ok = true;
+  network.dial(alice.swarm().local_id(), PeerId::from_seed(99),
+               [&](bool success) { ok = success; });
+  sim.run();
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(alice.swarm().open_count(), 0u);
+}
+
+TEST_F(NetworkTest, ConnectionGatingRefusesDial) {
+  bob.accept = false;
+  bool ok = true;
+  network.dial(alice.swarm().local_id(), bob.swarm().local_id(),
+               [&](bool success) { ok = success; });
+  sim.run();
+  EXPECT_FALSE(ok);
+  EXPECT_FALSE(network.connected(alice.swarm().local_id(), bob.swarm().local_id()));
+}
+
+TEST_F(NetworkTest, DuplicateDialFails) {
+  network.dial(alice.swarm().local_id(), bob.swarm().local_id());
+  sim.run();
+  bool ok = true;
+  network.dial(alice.swarm().local_id(), bob.swarm().local_id(),
+               [&](bool success) { ok = success; });
+  sim.run();
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(alice.swarm().open_count(), 1u);
+}
+
+TEST_F(NetworkTest, MessageDeliveredWithLatency) {
+  network.dial(alice.swarm().local_id(), bob.swarm().local_id());
+  sim.run();
+  Message message;
+  message.protocol = "/test/1.0.0";
+  message.body = 42;
+  network.send(alice.swarm().local_id(), bob.swarm().local_id(), message);
+  EXPECT_TRUE(bob.received.empty());  // not synchronous
+  sim.run();
+  ASSERT_EQ(bob.received.size(), 1u);
+  EXPECT_EQ(bob.received[0].first, alice.swarm().local_id());
+  EXPECT_EQ(bob.received[0].second, "/test/1.0.0");
+}
+
+TEST_F(NetworkTest, MessageDroppedWhenNotConnected) {
+  Message message;
+  message.protocol = "/test/1.0.0";
+  network.send(alice.swarm().local_id(), bob.swarm().local_id(), message);
+  sim.run();
+  EXPECT_TRUE(bob.received.empty());
+}
+
+TEST_F(NetworkTest, DisconnectMirrorsToRemoteSide) {
+  network.dial(alice.swarm().local_id(), bob.swarm().local_id());
+  sim.run();
+  network.disconnect(alice.swarm().local_id(), bob.swarm().local_id(),
+                     CloseReason::kLocalClose);
+  EXPECT_EQ(alice.swarm().open_count(), 0u);  // local close is synchronous
+  sim.run();                                  // mirror arrives after latency
+  EXPECT_EQ(bob.swarm().open_count(), 0u);
+  EXPECT_FALSE(network.connected(alice.swarm().local_id(), bob.swarm().local_id()));
+}
+
+TEST_F(NetworkTest, LocalTrimSeenAsRemoteTrimByPeer) {
+  network.dial(alice.swarm().local_id(), bob.swarm().local_id());
+  sim.run();
+
+  struct ReasonLog : p2p::SwarmObserver {
+    CloseReason last = CloseReason::kNone;
+    void on_connection_opened(const p2p::Connection&) override {}
+    void on_connection_closed(const p2p::Connection& connection) override {
+      last = connection.reason;
+    }
+  } bob_log;
+  bob.swarm().add_observer(&bob_log);
+
+  // Alice's connection manager trims the connection.
+  const auto id = alice.swarm().open_connections()[0]->id;
+  alice.swarm().close_connection(id, CloseReason::kLocalTrim);
+  sim.run();
+  EXPECT_EQ(bob_log.last, CloseReason::kRemoteTrim);
+  bob.swarm().remove_observer(&bob_log);
+}
+
+TEST_F(NetworkTest, RemoveHostClosesConnectionsAsPeerOffline) {
+  network.dial(alice.swarm().local_id(), bob.swarm().local_id());
+  network.dial(carol.swarm().local_id(), bob.swarm().local_id());
+  sim.run();
+  EXPECT_EQ(bob.swarm().open_count(), 2u);
+
+  network.remove_host(bob.swarm().local_id());
+  EXPECT_FALSE(network.online(bob.swarm().local_id()));
+  sim.run();
+  EXPECT_EQ(alice.swarm().open_count(), 0u);
+  EXPECT_EQ(carol.swarm().open_count(), 0u);
+}
+
+TEST_F(NetworkTest, MessageInFlightToDepartedHostIsDropped) {
+  network.dial(alice.swarm().local_id(), bob.swarm().local_id());
+  sim.run();
+  Message message;
+  message.protocol = "/test/1.0.0";
+  network.send(alice.swarm().local_id(), bob.swarm().local_id(), message);
+  network.remove_host(bob.swarm().local_id());
+  sim.run();
+  EXPECT_TRUE(bob.received.empty());
+}
+
+TEST_F(NetworkTest, LatencyIsSymmetricAndPositive) {
+  const auto ab = network.latency(alice.swarm().local_id(), bob.swarm().local_id());
+  EXPECT_GT(ab, 0);
+  EXPECT_LE(ab, 200 * common::kMillisecond);
+}
+
+TEST(LatencyModel, DeterministicBasePerPair) {
+  LatencyModel model;
+  common::Rng rng(1);
+  model.jitter_fraction = 0.0;
+  const auto a = p2p::PeerId::from_seed(1);
+  const auto b = p2p::PeerId::from_seed(2);
+  EXPECT_EQ(model.one_way(a, b, rng), model.one_way(a, b, rng));
+  EXPECT_EQ(model.one_way(a, b, rng), model.one_way(b, a, rng));
+}
+
+}  // namespace
+}  // namespace ipfs::net

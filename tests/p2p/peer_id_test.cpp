@@ -1,0 +1,102 @@
+#include "p2p/peer_id.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace ipfs::p2p {
+namespace {
+
+TEST(PeerId, DefaultIsZero) {
+  PeerId id;
+  EXPECT_TRUE(id.is_zero());
+  EXPECT_EQ(id.leading_zero_bits(), 256u);
+}
+
+TEST(PeerId, FromSeedDeterministic) {
+  EXPECT_EQ(PeerId::from_seed(1), PeerId::from_seed(1));
+  EXPECT_NE(PeerId::from_seed(1), PeerId::from_seed(2));
+}
+
+TEST(PeerId, RandomIdsAreDistinct) {
+  common::Rng rng(1);
+  std::set<PeerId> ids;
+  for (int i = 0; i < 10000; ++i) ids.insert(PeerId::random(rng));
+  EXPECT_EQ(ids.size(), 10000u);
+}
+
+TEST(PeerId, XorSelfIsZero) {
+  const PeerId id = PeerId::from_seed(99);
+  EXPECT_TRUE((id ^ id).is_zero());
+}
+
+TEST(PeerId, XorIsInvolution) {
+  const PeerId a = PeerId::from_seed(1);
+  const PeerId b = PeerId::from_seed(2);
+  EXPECT_EQ((a ^ b) ^ b, a);
+}
+
+TEST(PeerId, BitIndexingMatchesPrefix) {
+  common::Rng rng(5);
+  // An id with prefix 0xff00... must have its first 8 bits set.
+  const PeerId id = PeerId::with_prefix(0xff00000000000000ULL, 8, rng);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_TRUE(id.bit(i)) << i;
+}
+
+TEST(PeerId, WithPrefixForcesTopBits) {
+  common::Rng rng(6);
+  for (int round = 0; round < 100; ++round) {
+    const std::uint64_t prefix = rng();
+    const PeerId id = PeerId::with_prefix(prefix, 16, rng);
+    EXPECT_EQ(id.prefix64() >> 48, prefix >> 48);
+  }
+}
+
+TEST(PeerId, WithPrefixZeroBitsIsUnconstrained) {
+  common::Rng rng(7);
+  const PeerId a = PeerId::with_prefix(0xffffffffffffffffULL, 0, rng);
+  const PeerId b = PeerId::with_prefix(0xffffffffffffffffULL, 0, rng);
+  EXPECT_NE(a, b);
+}
+
+TEST(PeerId, LeadingZeroBits) {
+  common::Rng rng(8);
+  const PeerId a = PeerId::with_prefix(0x8000000000000000ULL, 1, rng);
+  EXPECT_EQ(a.leading_zero_bits(), 0u);
+  // 0x0000800000000000 has 16 leading zero bits, then a one at bit 16;
+  // forcing the top 33 bits makes them part of the id.
+  const PeerId b = PeerId::with_prefix(0x0000800000000000ULL, 33, rng);
+  EXPECT_EQ(b.leading_zero_bits(), 16u);
+}
+
+TEST(PeerId, OrderingIsTotal) {
+  const PeerId a = PeerId::from_seed(1);
+  const PeerId b = PeerId::from_seed(2);
+  EXPECT_TRUE((a < b) != (b < a));
+  EXPECT_TRUE(a == a);
+}
+
+TEST(PeerId, ToStringFormat) {
+  const PeerId id = PeerId::from_seed(12345);
+  const std::string text = id.to_string();
+  EXPECT_EQ(text.substr(0, 8), "12D3KooW");
+  EXPECT_EQ(text.size(), 19u);
+  EXPECT_EQ(text, id.to_string());  // stable
+}
+
+TEST(PeerId, ToStringMostlyUnique) {
+  common::Rng rng(9);
+  std::set<std::string> names;
+  for (int i = 0; i < 1000; ++i) names.insert(PeerId::random(rng).to_string());
+  EXPECT_GT(names.size(), 995u);
+}
+
+TEST(PeerId, HashUsablePrefix) {
+  const PeerId id = PeerId::from_seed(4);
+  EXPECT_EQ(std::hash<PeerId>{}(id), static_cast<std::size_t>(id.prefix64()));
+}
+
+}  // namespace
+}  // namespace ipfs::p2p

@@ -1,0 +1,183 @@
+#include "scenario/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/connection_stats.hpp"
+
+namespace ipfs::scenario {
+namespace {
+
+using common::kDay;
+using common::kHour;
+
+CampaignConfig small_config(PeriodSpec period, double scale = 0.02,
+                            std::uint64_t seed = 7) {
+  CampaignConfig config;
+  config.period = period;
+  config.population = PopulationSpec::test_scale(scale);
+  config.seed = seed;
+  return config;
+}
+
+TEST(Campaign, PeriodPresetsMatchTableOne) {
+  const auto p0 = PeriodSpec::P0();
+  EXPECT_EQ(p0.duration, 3 * kDay);
+  EXPECT_EQ(p0.go_low_water, 600);
+  EXPECT_EQ(p0.go_high_water, 900);
+  EXPECT_EQ(p0.hydra_heads, 3);
+
+  const auto p2 = PeriodSpec::P2();
+  EXPECT_EQ(p2.go_low_water, 18000);
+  EXPECT_EQ(p2.hydra_heads, 2);
+
+  const auto p3 = PeriodSpec::P3();
+  EXPECT_EQ(p3.go_ipfs_mode, dht::Mode::kClient);
+  EXPECT_EQ(p3.hydra_heads, 0);
+
+  EXPECT_EQ(PeriodSpec::P4().duration, 3 * kDay);
+  EXPECT_EQ(PeriodSpec::Long14d().duration, 14 * kDay);
+  EXPECT_EQ(PeriodSpec::table1().size(), 5u);
+}
+
+TEST(Campaign, ProducesDatasetsPerVantage) {
+  auto period = PeriodSpec::P1();
+  period.duration = 6 * kHour;  // shorten for the test
+  CampaignEngine engine(small_config(period));
+  const auto result = engine.run();
+  ASSERT_TRUE(result.go_ipfs.has_value());
+  ASSERT_EQ(result.hydra_heads.size(), 2u);
+  ASSERT_TRUE(result.hydra_union.has_value());
+  EXPECT_GT(result.go_ipfs->peer_count(), 0u);
+  EXPECT_GT(result.go_ipfs->connection_count(), 0u);
+  EXPECT_GT(result.population_size, 0u);
+  EXPECT_GT(result.events_executed, 1000u);
+}
+
+TEST(Campaign, DeterministicAcrossRuns) {
+  auto period = PeriodSpec::P4();
+  period.duration = 6 * kHour;
+  const auto run = [&] {
+    CampaignEngine engine(small_config(period));
+    return engine.run();
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.go_ipfs->peer_count(), b.go_ipfs->peer_count());
+  EXPECT_EQ(a.go_ipfs->connection_count(), b.go_ipfs->connection_count());
+  EXPECT_EQ(a.events_executed, b.events_executed);
+}
+
+TEST(Campaign, DifferentSeedsDiffer) {
+  auto period = PeriodSpec::P4();
+  period.duration = 6 * kHour;
+  CampaignEngine engine_a(small_config(period, 0.02, 1));
+  CampaignEngine engine_b(small_config(period, 0.02, 2));
+  const auto a = engine_a.run();
+  const auto b = engine_b.run();
+  EXPECT_NE(a.go_ipfs->connection_count(), b.go_ipfs->connection_count());
+}
+
+TEST(Campaign, HydraUnionAtLeastEachHead) {
+  auto period = PeriodSpec::P1();
+  period.duration = 6 * kHour;
+  CampaignEngine engine(small_config(period));
+  const auto result = engine.run();
+  for (const auto& head : result.hydra_heads) {
+    EXPECT_GE(result.hydra_union->peer_count(), head.peer_count());
+  }
+  // The union's connection records are the concatenation of the heads'.
+  std::size_t head_conns = 0;
+  for (const auto& head : result.hydra_heads) head_conns += head.connection_count();
+  EXPECT_EQ(result.hydra_union->connection_count(), head_conns);
+}
+
+TEST(Campaign, LowWatermarksCauseTrimming) {
+  auto period = PeriodSpec::P0();  // 600/900 at full scale
+  period.duration = 6 * kHour;
+  period.hydra_heads = 0;
+  period.go_low_water = 12;  // scaled-down equivalents
+  period.go_high_water = 18;
+  CampaignEngine engine(small_config(period));
+  const auto result = engine.run();
+  const auto reasons = analysis::compute_close_reasons(*result.go_ipfs);
+  EXPECT_GT(reasons.local_trim, 0u);
+}
+
+TEST(Campaign, HighWatermarksAvoidOwnTrimming) {
+  auto period = PeriodSpec::P4();  // 18k/20k: far above a 2 % population
+  period.duration = 6 * kHour;
+  CampaignEngine engine(small_config(period));
+  const auto result = engine.run();
+  const auto reasons = analysis::compute_close_reasons(*result.go_ipfs);
+  EXPECT_EQ(reasons.local_trim, 0u);
+  EXPECT_GT(reasons.remote_trim + reasons.remote_close, 0u);
+}
+
+TEST(Campaign, ClientVantageSeesFewerPeersWithOutboundConns) {
+  auto server_period = PeriodSpec::P4();
+  server_period.duration = 6 * kHour;
+  auto client_period = PeriodSpec::P3();
+  client_period.duration = 6 * kHour;
+
+  CampaignEngine server_engine(small_config(server_period));
+  CampaignEngine client_engine(small_config(client_period));
+  const auto server_result = server_engine.run();
+  const auto client_result = client_engine.run();
+
+  EXPECT_LT(client_result.go_ipfs->peer_count(), server_result.go_ipfs->peer_count());
+
+  // P3's connections are outbound dials from the vantage.
+  const auto stats = analysis::compute_connection_stats(*client_result.go_ipfs);
+  EXPECT_GT(stats.direction.outbound_count, stats.direction.inbound_count);
+}
+
+TEST(Campaign, CrawlerSnapshotsCollected) {
+  auto period = PeriodSpec::P4();
+  period.duration = 18 * kHour;
+  CampaignEngine engine(small_config(period));
+  const auto result = engine.run();
+  EXPECT_GE(result.crawls.size(), 2u);
+  for (const auto& crawl : result.crawls) {
+    EXPECT_GT(crawl.reached_servers, 0u);
+    EXPECT_GE(crawl.learned_pids, crawl.reached_servers);
+  }
+  const auto [low, high] = result.crawler_min_max();
+  EXPECT_GT(low, 0u);
+  EXPECT_GE(high, low);
+}
+
+TEST(Campaign, CrawlerDisabled) {
+  auto period = PeriodSpec::P4();
+  period.duration = 6 * kHour;
+  auto config = small_config(period);
+  config.enable_crawler = false;
+  CampaignEngine engine(config);
+  EXPECT_TRUE(engine.run().crawls.empty());
+}
+
+TEST(Campaign, MetadataDynamicsToggle) {
+  auto period = PeriodSpec::P4();
+  period.duration = 12 * kHour;
+  auto config = small_config(period, 0.05);
+  config.enable_metadata_dynamics = false;
+  CampaignEngine engine(config);
+  const auto result = engine.run();
+  // Without dynamics no peer ever changes its agent string.
+  for (const auto& peer : result.go_ipfs->peers()) {
+    EXPECT_LE(peer.agent_history.size(), 1u);
+  }
+}
+
+TEST(Campaign, RecorderQuantisesToPollGrid) {
+  auto period = PeriodSpec::P4();
+  period.duration = 6 * kHour;
+  CampaignEngine engine(small_config(period));
+  const auto result = engine.run();
+  for (const auto& record : result.go_ipfs->connections()) {
+    EXPECT_EQ(record.opened % (30 * common::kSecond), 0) << "30 s poll grid";
+    EXPECT_GE(record.closed, record.opened);
+  }
+}
+
+}  // namespace
+}  // namespace ipfs::scenario

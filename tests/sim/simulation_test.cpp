@@ -1,0 +1,159 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ipfs::sim {
+namespace {
+
+TEST(Simulation, StartsAtZero) {
+  Simulation sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulation, ExecutesInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulation, FifoAtEqualTimes) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulation, ScheduleAfterUsesCurrentTime) {
+  Simulation sim;
+  SimTime fired_at = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_after(50, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(Simulation, PastEventsClampToNow) {
+  Simulation sim;
+  sim.schedule_at(100, [&] {
+    sim.schedule_at(10, [&] { EXPECT_EQ(sim.now(), 100); });
+  });
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 2u);
+}
+
+TEST(Simulation, NegativeDelayClampsToZero) {
+  Simulation sim;
+  bool fired = false;
+  sim.schedule_after(-100, [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(Simulation, RunUntilStopsAtLimit) {
+  Simulation sim;
+  int count = 0;
+  sim.schedule_every(10, [&] { ++count; });
+  sim.run_until(100);
+  EXPECT_EQ(count, 10);  // fires at 10..100
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulation, RunUntilAdvancesClockWithoutEvents) {
+  Simulation sim;
+  sim.run_until(12345);
+  EXPECT_EQ(sim.now(), 12345);
+}
+
+TEST(Simulation, CancelOneShot) {
+  Simulation sim;
+  bool fired = false;
+  const TaskId id = sim.schedule_at(10, [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, CancelPeriodicStopsRepetition) {
+  Simulation sim;
+  int count = 0;
+  TaskId id = kInvalidTask;
+  id = sim.schedule_every(10, [&] {
+    ++count;
+    if (count == 3) sim.cancel(id);
+  });
+  sim.run_until(1000);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulation, CancelUnknownIsNoOp) {
+  Simulation sim;
+  sim.cancel(9999);
+  sim.cancel(kInvalidTask);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulation, PeriodicInitialDelay) {
+  Simulation sim;
+  std::vector<SimTime> fire_times;
+  sim.schedule_every(100, [&] { fire_times.push_back(sim.now()); }, 7);
+  sim.run_until(310);
+  ASSERT_EQ(fire_times.size(), 4u);
+  EXPECT_EQ(fire_times[0], 7);
+  EXPECT_EQ(fire_times[1], 107);
+  EXPECT_EQ(fire_times[3], 307);
+}
+
+TEST(Simulation, StepReturnsFalseWhenEmpty) {
+  Simulation sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule_at(1, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulation, EventsCanScheduleEvents) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.schedule_after(1, recurse);
+  };
+  sim.schedule_at(0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), 99);
+}
+
+TEST(Simulation, ExecutedEventsCounts) {
+  Simulation sim;
+  for (int i = 0; i < 25; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 25u);
+}
+
+TEST(Simulation, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Simulation sim;
+    std::vector<SimTime> times;
+    sim.schedule_every(17, [&] { times.push_back(sim.now()); });
+    sim.schedule_every(11, [&] { times.push_back(-sim.now()); });
+    sim.run_until(500);
+    return times;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace ipfs::sim
