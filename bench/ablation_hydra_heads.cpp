@@ -25,20 +25,16 @@ int main() {
     period.hydra_heads = heads;
     auto config = bench::make_config(period);
     config.enable_crawler = false;
-    scenario::CampaignEngine engine(std::move(config));
-    const auto result = engine.run();
+    const auto result = bench::make_engine(std::move(config)).run();
 
-    std::size_t head_min = 0;
-    std::size_t head_max = 0;
+    common::MinMaxBand head_band;
     for (const auto& head : result.hydra_heads) {
-      const std::size_t n = head.peer_count();
-      if (head_min == 0 || n < head_min) head_min = n;
-      head_max = std::max(head_max, n);
+      head_band.add(head.peer_count(), head.peer_count());
     }
     table.add_row({std::to_string(heads),
                    common::with_thousands(result.hydra_union->peer_count()),
-                   common::with_thousands(head_min) + " .. " +
-                       common::with_thousands(head_max),
+                   common::with_thousands(head_band.low()) + " .. " +
+                       common::with_thousands(head_band.high()),
                    common::with_thousands(result.go_ipfs->peer_count())});
   }
   table.print(std::cout);

@@ -36,8 +36,7 @@ int main() {
     period.go_high_water = setting.high;
     auto config = bench::make_config(period);
     config.enable_crawler = false;
-    scenario::CampaignEngine engine(std::move(config));
-    const auto result = engine.run();
+    const auto result = bench::make_engine(std::move(config)).run();
     const auto stats = analysis::compute_connection_stats(*result.go_ipfs);
     const auto reasons = analysis::compute_close_reasons(*result.go_ipfs);
     table.add_row({std::to_string(setting.low) + "/" + std::to_string(setting.high),

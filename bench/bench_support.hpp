@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <utility>
 
 #include "scenario/campaign.hpp"
 
@@ -35,9 +36,19 @@ inline scenario::CampaignConfig make_config(scenario::PeriodSpec period) {
   return config;
 }
 
+/// Obtain an engine through the validating factory, exiting loudly on a
+/// config error (benches are scripts; there is nothing to recover).
+inline scenario::CampaignEngine make_engine(scenario::CampaignConfig config) {
+  auto engine = scenario::CampaignEngine::create(std::move(config));
+  if (!engine) {
+    std::cerr << "invalid campaign config: " << engine.error() << "\n";
+    std::exit(2);
+  }
+  return std::move(*engine);
+}
+
 inline scenario::CampaignResult run_period(scenario::PeriodSpec period) {
-  scenario::CampaignEngine engine(make_config(std::move(period)));
-  return engine.run();
+  return make_engine(make_config(std::move(period))).run();
 }
 
 inline void print_header(const std::string& title, const std::string& paper_ref) {

@@ -25,8 +25,12 @@ scenario::CampaignResult run(double scale, int low, int high) {
   config.population = scenario::PopulationSpec::test_scale(scale);
   config.seed = 20211206;
   config.enable_crawler = false;
-  scenario::CampaignEngine engine(std::move(config));
-  return engine.run();
+  auto engine = scenario::CampaignEngine::create(std::move(config));
+  if (!engine) {
+    std::cerr << "invalid campaign config: " << engine.error() << "\n";
+    std::exit(1);
+  }
+  return engine->run();
 }
 
 }  // namespace

@@ -1,63 +1,39 @@
 // Active vs passive horizon (§III-C, Fig. 2) at protocol fidelity: build a
-// real message-level DHT with servers and clients, run the Kademlia
-// crawler against it, and compare what the crawler reaches with what a
-// passive vantage accumulated — including a node that left mid-run, which
-// only the passive node's "historic snapshot" remembers.
+// real message-level DHT with servers and clients through the runtime
+// facade, run the Kademlia crawler against it, and compare what the
+// crawler reaches with what a passive vantage accumulated — including a
+// node that left mid-run, which only the passive node's "historic
+// snapshot" remembers.
 //
 //   ./examples/crawler_comparison
 #include <iostream>
 
-#include "crawler/crawler.hpp"
-#include "measure/recorder.hpp"
-#include "net/ip_allocator.hpp"
-#include "net/network.hpp"
-#include "node/go_ipfs_node.hpp"
+#include "runtime/testbed.hpp"
 
 int main() {
   using namespace ipfs;
 
-  sim::Simulation sim;
-  net::Network network(sim, common::Rng(9));
-  net::IpAllocator ips{common::Rng(3)};
-  common::Rng ids(5);
+  auto testbed = runtime::TestbedBuilder().seed(9).build();
 
   // Passive vantage (go-ipfs DHT server) with a recorder.
-  node::GoIpfsNode vantage(sim, network, p2p::PeerId::random(ids),
-                           net::swarm_tcp_addr(ips.unique_v4()),
-                           node::NodeConfig::dht_server());
-  vantage.start();
+  auto vantage = testbed.add_server();
   measure::RecorderConfig recorder_config;
   recorder_config.vantage = "passive";
-  measure::Recorder recorder(sim, vantage.swarm(), recorder_config);
-  vantage.swarm().peerstore().add_observer(&recorder);
-  recorder.start();
+  measure::Recorder& recorder = vantage.attach_recorder(recorder_config);
 
   // 18 DHT servers and 9 clients bootstrap through the vantage.
-  std::vector<std::unique_ptr<node::GoIpfsNode>> peers;
-  auto add_peer = [&](node::NodeConfig config) -> node::GoIpfsNode& {
-    peers.push_back(std::make_unique<node::GoIpfsNode>(
-        sim, network, p2p::PeerId::random(ids), net::swarm_tcp_addr(ips.unique_v4()),
-        config));
-    peers.back()->start();
-    peers.back()->bootstrap({vantage.id()});
-    return *peers.back();
-  };
-  for (int i = 0; i < 18; ++i) add_peer(node::NodeConfig::dht_server());
-  for (int i = 0; i < 9; ++i) add_peer(node::NodeConfig::dht_client());
-
-  sim.run_until(30 * common::kMinute);
+  testbed.add_servers(18).add_clients(9).bootstrap_all_via(vantage);
+  testbed.run_for(30 * common::kMinute);
 
   // One server disappears: active crawls lose it, the passive log keeps it.
-  peers[4]->stop();
-  sim.run_until(sim.now() + 10 * common::kMinute);
+  testbed.node(5).stop();
+  testbed.run_for(10 * common::kMinute);
 
   // Crawl the DHT, nebula-style.
-  crawler::Crawler crawler(sim, network, p2p::PeerId::random(ids),
-                           net::swarm_tcp_addr(ips.unique_v4()), {});
-  crawler.start();
+  crawler::Crawler& crawler = testbed.add_crawler();
   crawler::CrawlResult crawl;
   crawler.crawl({vantage.id()}, [&](crawler::CrawlResult r) { crawl = std::move(r); });
-  sim.run_until(sim.now() + 30 * common::kMinute);
+  testbed.run_for(30 * common::kMinute);
   recorder.finish();
 
   std::cout << "Network ground truth: 19 DHT servers (1 departed), 9 clients.\n\n";
@@ -65,8 +41,7 @@ int main() {
             << "  reached servers:  " << crawl.reached.size() << "\n"
             << "  learned PIDs:     " << crawl.learned.size()
             << "  (incl. stale routing entries)\n"
-            << "  dial failures:    " << crawl.dial_failures
-            << "  (the departed node)\n"
+            << "  dial failures:    " << crawl.dial_failures << "\n"
             << "  queries sent:     " << crawl.queries_sent << "\n";
 
   const measure::Dataset& dataset = recorder.dataset();

@@ -22,8 +22,12 @@ int main(int argc, char** argv) {
   config.population = scenario::PopulationSpec::test_scale(scale);
   config.seed = 20211210;
   std::cout << "Running P4 (3 days) at scale " << scale << " ...\n";
-  scenario::CampaignEngine engine(config);
-  const auto result = engine.run();
+  auto engine = scenario::CampaignEngine::create(config);
+  if (!engine) {
+    std::cerr << "invalid campaign config: " << engine.error() << "\n";
+    return 1;
+  }
+  const auto result = engine->run();
   const measure::Dataset& dataset = *result.go_ipfs;
 
   std::cout << "\nStep 0 — the naive answer:\n  " << dataset.peer_count()

@@ -1,12 +1,15 @@
 // Passive measurement campaign: run a scaled-down version of the paper's
 // P2 period (go-ipfs server at 18k/20k + two hydra heads, one day) against
 // the synthetic December-2021 population, print the headline observations
-// and export the go-ipfs dataset as JSON — the same artefact the paper's
-// instrumented clients produced.
+// and stream the go-ipfs dataset to JSON as it is published — the same
+// artefact the paper's instrumented clients produced.
 //
 //   ./examples/passive_measurement [scale] [out.json]
 //
 // Defaults: scale 0.1, dataset written to passive_measurement.json.
+//
+// This example shows the sink-based campaign API: a JSON export sink and
+// the in-memory result sink both subscribe to one run through a fan-out.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -28,11 +31,31 @@ int main(int argc, char** argv) {
   config.population = scenario::PopulationSpec::test_scale(scale);
   config.seed = 20211213;
 
+  auto engine = scenario::CampaignEngine::create(config);
+  if (!engine) {
+    std::cerr << "invalid campaign config: " << engine.error() << "\n";
+    return 1;
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+
   std::cout << "Running period " << config.period.name << " ("
             << common::format_duration(config.period.duration) << ", scale " << scale
             << ") ...\n";
-  scenario::CampaignEngine engine(config);
-  const auto result = engine.run();
+
+  // Peer records only: the connection log would dominate the file.
+  measure::JsonExportSink::Options json_options;
+  json_options.include_connections = false;
+  json_options.role_filter = measure::DatasetRole::kVantage;
+  measure::JsonExportSink json_sink(out, json_options);
+  scenario::CampaignResultSink result_sink;
+  measure::FanOutSink sinks{&json_sink, &result_sink};
+  engine->run(sinks);
+  const auto result = result_sink.take_result();
 
   std::cout << "Population: " << result.population_size << " peers, "
             << result.events_executed << " simulation events.\n\n";
@@ -58,14 +81,7 @@ int main(int argc, char** argv) {
             << summary.kad_supporters << " DHT servers, " << summary.missing_agent_pids
             << " PIDs without version string.\n";
 
-  std::ofstream out(out_path);
-  if (!out) {
-    std::cerr << "cannot write " << out_path << "\n";
-    return 1;
-  }
-  // Peer records only: the connection log would dominate the file.
-  result.go_ipfs->export_json(out, /*include_connections=*/false);
-  std::cout << "\ngo-ipfs peer records exported to " << out_path << " ("
+  std::cout << "\ngo-ipfs peer records streamed to " << out_path << " ("
             << "like the paper's periodic JSON dumps, §III-A).\n";
   return 0;
 }

@@ -1,58 +1,47 @@
-// Quickstart: build a small message-level IPFS network, attach a passive
-// measurement recorder to one node, let the network live for an hour of
-// simulated time and print what the vantage observed.
+// Quickstart: build a small message-level IPFS network through the
+// `ipfs::runtime` facade, attach a passive measurement recorder to one
+// node, let the network live for an hour of simulated time and print what
+// the vantage observed.
 //
 //   ./examples/quickstart
 //
 // This exercises the protocol-fidelity path end to end: swarm, connection
-// manager, Kademlia DHT, identify and the measurement recorder.
+// manager, Kademlia DHT, identify and the measurement recorder — all wired
+// by TestbedBuilder from a single seed.
 #include <iostream>
 
 #include "analysis/connection_stats.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
-#include "measure/recorder.hpp"
-#include "net/ip_allocator.hpp"
-#include "net/network.hpp"
-#include "node/go_ipfs_node.hpp"
+#include "runtime/testbed.hpp"
 
 int main() {
   using namespace ipfs;
 
-  // 1. A simulation clock and a network fabric.
-  sim::Simulation sim;
-  net::Network network(sim, common::Rng(42));
-  net::IpAllocator ips{common::Rng(7)};
-  common::Rng ids(1);
+  // 1. One seed wires the clock, the network fabric, the address space and
+  //    every node identity.
+  auto testbed = runtime::TestbedBuilder().seed(42).build();
 
   // 2. The measurement vantage: a go-ipfs DHT server with deliberately low
   //    watermarks so trimming is visible within the hour.
-  auto vantage_config = node::NodeConfig::dht_server(/*low_water=*/8, /*high_water=*/12);
-  node::GoIpfsNode vantage(sim, network, p2p::PeerId::random(ids),
-                           net::swarm_tcp_addr(ips.unique_v4()), vantage_config);
-  vantage.start();
-
+  auto vantage = testbed.add_server(node::NodeConfig::dht_server(/*low_water=*/8,
+                                                                /*high_water=*/12));
   measure::RecorderConfig recorder_config;
   recorder_config.vantage = "quickstart-vantage";
-  measure::Recorder recorder(sim, vantage.swarm(), recorder_config);
-  vantage.swarm().peerstore().add_observer(&recorder);
-  recorder.start();
+  measure::Recorder& recorder = vantage.attach_recorder(recorder_config);
 
   // 3. Twenty-five peers join through the vantage: 15 DHT servers, 10
   //    clients — clients are what a crawler can never see (§III).
-  std::vector<std::unique_ptr<node::GoIpfsNode>> peers;
-  for (int i = 0; i < 25; ++i) {
-    auto config = i < 15 ? node::NodeConfig::dht_server() : node::NodeConfig::dht_client();
-    config.agent = i < 15 ? "go-ipfs/0.11.0/0c2f9d5" : "go-ipfs/0.10.0/64b532f";
-    peers.push_back(std::make_unique<node::GoIpfsNode>(
-        sim, network, p2p::PeerId::random(ids), net::swarm_tcp_addr(ips.unique_v4()),
-        config));
-    peers.back()->start();
-    peers.back()->bootstrap({vantage.id()});
-  }
+  auto server_config = node::NodeConfig::dht_server();
+  server_config.agent = "go-ipfs/0.11.0/0c2f9d5";
+  auto client_config = node::NodeConfig::dht_client();
+  client_config.agent = "go-ipfs/0.10.0/64b532f";
+  testbed.add_servers(15, server_config)
+      .add_clients(10, client_config)
+      .bootstrap_all_via(vantage);
 
   // 4. One simulated hour of network life.
-  sim.run_until(1 * common::kHour);
+  testbed.run_for(1 * common::kHour);
   recorder.finish();
 
   // 5. What did the passive vantage see?

@@ -73,6 +73,17 @@ std::vector<std::pair<double, double>> Cdf::log_spaced_points(
   return points;
 }
 
+void MinMaxBand::add(std::size_t low_candidate, std::size_t high_candidate) noexcept {
+  if (count_ == 0) {
+    low_ = low_candidate;
+    high_ = high_candidate;
+  } else {
+    low_ = std::min(low_, low_candidate);
+    high_ = std::max(high_, high_candidate);
+  }
+  ++count_;
+}
+
 void CountedHistogram::add(const std::string& key, std::uint64_t weight) {
   counts_[key] += weight;
   total_ += weight;

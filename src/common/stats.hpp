@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace ipfs::common {
@@ -66,6 +67,31 @@ class Cdf {
 
  private:
   std::vector<double> sorted_;
+};
+
+/// Accumulates the min/max band the paper plots in Fig. 2: the smallest
+/// low-candidate and the largest high-candidate over a series of
+/// observations (e.g. reached servers vs learned PIDs per crawl).
+class MinMaxBand {
+ public:
+  /// Fold one observation into the band.  `low_candidate` competes for the
+  /// band's minimum, `high_candidate` for its maximum; pass the same value
+  /// twice to track a single series.
+  void add(std::size_t low_candidate, std::size_t high_candidate) noexcept;
+
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] std::size_t low() const noexcept { return count_ == 0 ? 0 : low_; }
+  [[nodiscard]] std::size_t high() const noexcept { return count_ == 0 ? 0 : high_; }
+
+  /// The (low, high) pair; (0, 0) when nothing was added.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> band() const noexcept {
+    return {low(), high()};
+  }
+
+ private:
+  std::size_t count_ = 0;
+  std::size_t low_ = 0;
+  std::size_t high_ = 0;
 };
 
 /// Counted histogram over string categories (agent versions, protocols).

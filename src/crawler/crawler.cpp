@@ -1,5 +1,6 @@
 #include "crawler/crawler.hpp"
 
+#include "common/stats.hpp"
 #include "p2p/protocols.hpp"
 
 namespace ipfs::crawler {
@@ -46,18 +47,15 @@ void Crawler::crawl_periodically(const std::vector<p2p::PeerId>& bootstrap,
     crawl(bootstrap, [this](CrawlResult result) { history_.push_back(result); });
   };
   run();
-  periodic_task_ = simulation_.schedule_every(interval, run, interval);
+  periodic_task_ = simulation_.schedule_every(interval, run);
 }
 
 std::pair<std::size_t, std::size_t> Crawler::reached_min_max() const {
-  std::size_t low = 0;
-  std::size_t high = 0;
+  common::MinMaxBand band;
   for (const CrawlResult& result : history_) {
-    const std::size_t n = result.reached.size();
-    if (low == 0 || n < low) low = n;
-    if (n > high) high = n;
+    band.add(result.reached.size(), result.reached.size());
   }
-  return {low, high};
+  return band.band();
 }
 
 void Crawler::enqueue(const p2p::PeerId& peer) {
@@ -78,6 +76,10 @@ void Crawler::visit_next() {
     // Crawl complete.
     crawling_ = false;
     current_.finished = simulation_.now();
+    if (sink_ != nullptr) {
+      sink_->on_crawl({current_.finished, current_.reached.size(),
+                       current_.learned.size()});
+    }
     auto done = std::move(done_);
     if (done) done(current_);
   }

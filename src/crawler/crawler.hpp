@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "dht/kad.hpp"
+#include "measure/sink.hpp"
 #include "net/network.hpp"
 #include "p2p/swarm.hpp"
 #include "sim/simulation.hpp"
@@ -67,6 +68,11 @@ class Crawler : public net::Host {
     return history_;
   }
 
+  /// Publish every completed crawl (from `crawl` or `crawl_periodically`)
+  /// as a `CrawlObservation` the moment its frontier drains.  Pass nullptr
+  /// to detach.
+  void set_sink(measure::MeasurementSink* sink) noexcept { sink_ = sink; }
+
   /// Smallest / largest number of reached servers across crawls — the
   /// min/max band the paper plots in Fig. 2.
   [[nodiscard]] std::pair<std::size_t, std::size_t> reached_min_max() const;
@@ -106,6 +112,7 @@ class Crawler : public net::Host {
 
   std::vector<CrawlResult> history_;
   sim::TaskId periodic_task_ = sim::kInvalidTask;
+  measure::MeasurementSink* sink_ = nullptr;
 };
 
 }  // namespace ipfs::crawler

@@ -47,6 +47,11 @@ void Recorder::finish() {
   open_.clear();
 }
 
+void Recorder::publish(MeasurementSink& sink, DatasetRole role) {
+  finish();
+  sink.on_dataset(role, take_dataset());
+}
+
 void Recorder::on_connection_opened(const p2p::Connection& connection) {
   if (!recording_) return;
   const SimTime now = observe_time(simulation_.now());

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "measure/dataset.hpp"
+#include "measure/sink.hpp"
 #include "p2p/peerstore.hpp"
 #include "p2p/swarm.hpp"
 #include "sim/simulation.hpp"
@@ -49,6 +50,10 @@ class Recorder : public p2p::SwarmObserver, public p2p::PeerstoreObserver {
 
   /// Move the dataset out (recorder becomes inert).
   [[nodiscard]] Dataset take_dataset() { return std::move(dataset_); }
+
+  /// Finish (if still recording) and move the dataset into `sink` under the
+  /// given role.  The recorder becomes inert.
+  void publish(MeasurementSink& sink, DatasetRole role = DatasetRole::kOther);
 
   // p2p::SwarmObserver
   void on_connection_opened(const p2p::Connection& connection) override;

@@ -1,0 +1,51 @@
+#include "measure/sink.hpp"
+
+#include <ostream>
+
+namespace ipfs::measure {
+
+std::string_view to_string(DatasetRole role) noexcept {
+  switch (role) {
+    case DatasetRole::kVantage: return "vantage";
+    case DatasetRole::kHydraHead: return "hydra-head";
+    case DatasetRole::kHydraUnion: return "hydra-union";
+    case DatasetRole::kOther: break;
+  }
+  return "other";
+}
+
+const Dataset* CollectingSink::find(DatasetRole role) const noexcept {
+  for (const Entry& entry : datasets_) {
+    if (entry.role == role) return &entry.dataset;
+  }
+  return nullptr;
+}
+
+void FanOutSink::on_run_begin(const std::string& description) {
+  for (MeasurementSink* sink : sinks_) sink->on_run_begin(description);
+}
+
+void FanOutSink::on_crawl(const CrawlObservation& crawl) {
+  for (MeasurementSink* sink : sinks_) sink->on_crawl(crawl);
+}
+
+void FanOutSink::on_dataset(DatasetRole role, Dataset dataset) {
+  if (sinks_.empty()) return;
+  for (std::size_t i = 0; i + 1 < sinks_.size(); ++i) {
+    sinks_[i]->on_dataset(role, dataset);  // copy for all but the last
+  }
+  sinks_.back()->on_dataset(role, std::move(dataset));
+}
+
+void FanOutSink::on_run_end(const RunSummary& summary) {
+  for (MeasurementSink* sink : sinks_) sink->on_run_end(summary);
+}
+
+void JsonExportSink::on_dataset(DatasetRole role, Dataset dataset) {
+  if (options_.role_filter && *options_.role_filter != role) return;
+  dataset.export_json(out_, options_.include_connections);
+  out_ << "\n";
+  ++exported_;
+}
+
+}  // namespace ipfs::measure

@@ -1,0 +1,144 @@
+// How observations leave the system.
+//
+// Every producer of measurement data — the passive `Recorder`, the active
+// crawler's periodic snapshots and the campaign engine's per-vantage
+// datasets — publishes through the `MeasurementSink` interface instead of
+// returning one monolithic struct (DESIGN.md §4).  Crawl observations
+// stream as they happen; datasets are published once finalised.  Consumers
+// that want the old all-in-memory shape use a collecting sink (or
+// `scenario::CampaignResultSink` for campaigns).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "measure/dataset.hpp"
+
+namespace ipfs::measure {
+
+/// What a published dataset represents within a run.
+enum class DatasetRole : std::uint8_t {
+  kVantage,     ///< the primary vantage (the paper's instrumented go-ipfs)
+  kHydraHead,   ///< one hydra head
+  kHydraUnion,  ///< union of all hydra heads (§III-C)
+  kOther,       ///< ad-hoc recorders (testbed experiments)
+};
+
+[[nodiscard]] std::string_view to_string(DatasetRole role) noexcept;
+
+/// One active-crawler snapshot (the Fig. 2 baseline).
+struct CrawlObservation {
+  SimTime at = 0;
+  std::size_t reached_servers = 0;  ///< online, reachable DHT servers
+  std::size_t learned_pids = 0;     ///< incl. stale routing-table entries
+};
+
+/// End-of-run bookkeeping, published after the last dataset.
+struct RunSummary {
+  std::size_t population_size = 0;
+  std::size_t events_executed = 0;
+};
+
+/// Receives measurement output.  Hooks default to no-ops so sinks override
+/// only what they consume.  Within one run the call order is:
+/// `on_run_begin`, any number of `on_crawl` (in simulation-time order),
+/// then every `on_dataset`, then `on_run_end`.
+class MeasurementSink {
+ public:
+  virtual ~MeasurementSink() = default;
+
+  virtual void on_run_begin(const std::string& description) { (void)description; }
+  virtual void on_crawl(const CrawlObservation& crawl) { (void)crawl; }
+  virtual void on_dataset(DatasetRole role, Dataset dataset) {
+    (void)role;
+    (void)dataset;
+  }
+  virtual void on_run_end(const RunSummary& summary) { (void)summary; }
+};
+
+/// Buffers everything published (testbed experiments, tests).
+class CollectingSink final : public MeasurementSink {
+ public:
+  struct Entry {
+    DatasetRole role = DatasetRole::kOther;
+    Dataset dataset;
+  };
+
+  void on_run_begin(const std::string& description) override {
+    description_ = description;
+  }
+  void on_crawl(const CrawlObservation& crawl) override { crawls_.push_back(crawl); }
+  void on_dataset(DatasetRole role, Dataset dataset) override {
+    datasets_.push_back({role, std::move(dataset)});
+  }
+  void on_run_end(const RunSummary& summary) override { summary_ = summary; }
+
+  [[nodiscard]] const std::string& description() const noexcept { return description_; }
+  [[nodiscard]] const std::vector<CrawlObservation>& crawls() const noexcept {
+    return crawls_;
+  }
+  [[nodiscard]] const std::vector<Entry>& datasets() const noexcept {
+    return datasets_;
+  }
+  [[nodiscard]] const RunSummary& summary() const noexcept { return summary_; }
+
+  /// First dataset published with `role`, nullptr when absent.
+  [[nodiscard]] const Dataset* find(DatasetRole role) const noexcept;
+
+ private:
+  std::string description_;
+  std::vector<CrawlObservation> crawls_;
+  std::vector<Entry> datasets_;
+  RunSummary summary_;
+};
+
+/// Broadcasts every event to several sinks (e.g. keep results in memory
+/// while also streaming a JSON export).  Datasets are copied for all but
+/// the last registered sink.
+class FanOutSink final : public MeasurementSink {
+ public:
+  FanOutSink() = default;
+  FanOutSink(std::initializer_list<MeasurementSink*> sinks) : sinks_(sinks) {}
+
+  void add(MeasurementSink& sink) { sinks_.push_back(&sink); }
+
+  void on_run_begin(const std::string& description) override;
+  void on_crawl(const CrawlObservation& crawl) override;
+  void on_dataset(DatasetRole role, Dataset dataset) override;
+  void on_run_end(const RunSummary& summary) override;
+
+ private:
+  std::vector<MeasurementSink*> sinks_;
+};
+
+/// Streams datasets as JSON to an ostream the moment they are published —
+/// the sink equivalent of the paper's periodic JSON dumps (§III-A).
+class JsonExportSink final : public MeasurementSink {
+ public:
+  struct Options {
+    bool include_connections = false;
+    /// When set, only datasets with this role are exported.
+    std::optional<DatasetRole> role_filter;
+  };
+
+  explicit JsonExportSink(std::ostream& out) : out_(out) {}
+  JsonExportSink(std::ostream& out, Options options)
+      : out_(out), options_(options) {}
+
+  void on_dataset(DatasetRole role, Dataset dataset) override;
+
+  [[nodiscard]] std::size_t exported_count() const noexcept { return exported_; }
+
+ private:
+  std::ostream& out_;
+  Options options_;
+  std::size_t exported_ = 0;
+};
+
+}  // namespace ipfs::measure

@@ -42,8 +42,8 @@ void GoIpfsNode::start() {
   started_ = true;
   network_.add_host(*this);
   swarm_.start();
-  refresh_task_ = simulation_.schedule_every(
-      config_.refresh_interval, [this] { kad_->refresh(); }, config_.refresh_interval);
+  refresh_task_ = simulation_.schedule_every(config_.refresh_interval,
+                                             [this] { kad_->refresh(); });
 }
 
 void GoIpfsNode::stop() {

@@ -16,9 +16,8 @@ Swarm::~Swarm() { stop(); }
 
 void Swarm::start() {
   if (!config_.trim_enabled || trim_task_ != sim::kInvalidTask) return;
-  trim_task_ = simulation_.schedule_every(
-      conn_manager_.config().check_interval, [this] { trim_now(); },
-      conn_manager_.config().check_interval);
+  trim_task_ = simulation_.schedule_every(conn_manager_.config().check_interval,
+                                          [this] { trim_now(); });
 }
 
 void Swarm::stop() {

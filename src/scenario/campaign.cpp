@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "common/stats.hpp"
 #include "common/version.hpp"
 #include "p2p/protocols.hpp"
 
@@ -92,13 +93,37 @@ p2p::Multiaddr dial_address(const RemotePeer& peer, common::Rng& prng) {
 }  // namespace
 
 std::pair<std::size_t, std::size_t> CampaignResult::crawler_min_max() const {
-  std::size_t low = 0;
-  std::size_t high = 0;
+  common::MinMaxBand band;
   for (const CrawlSnapshot& crawl : crawls) {
-    if (low == 0 || crawl.reached_servers < low) low = crawl.reached_servers;
-    high = std::max(high, crawl.learned_pids);
+    band.add(crawl.reached_servers, crawl.learned_pids);
   }
-  return {low, high};
+  return band.band();
+}
+
+void CampaignResultSink::on_crawl(const measure::CrawlObservation& crawl) {
+  result_.crawls.push_back(crawl);
+}
+
+void CampaignResultSink::on_dataset(measure::DatasetRole role,
+                                    measure::Dataset dataset) {
+  switch (role) {
+    case measure::DatasetRole::kVantage:
+      result_.go_ipfs = std::move(dataset);
+      break;
+    case measure::DatasetRole::kHydraHead:
+      result_.hydra_heads.push_back(std::move(dataset));
+      break;
+    case measure::DatasetRole::kHydraUnion:
+      result_.hydra_union = std::move(dataset);
+      break;
+    case measure::DatasetRole::kOther:
+      break;  // campaigns never publish ad-hoc datasets
+  }
+}
+
+void CampaignResultSink::on_run_end(const measure::RunSummary& summary) {
+  result_.population_size = summary.population_size;
+  result_.events_executed = summary.events_executed;
 }
 
 struct CampaignEngine::Impl {
@@ -550,8 +575,7 @@ struct CampaignEngine::Impl {
               vantages[v].swarm->close_connection(conn_id,
                                                   p2p::CloseReason::kLocalClose);
             });
-          },
-          45 * kSecond);
+          });
     }
   }
 
@@ -582,18 +606,17 @@ struct CampaignEngine::Impl {
                 vantages[v].swarm->peerstore().touch(peer.pid, simulation.now());
               }
             }
-          },
-          60 * kSecond);
+          });
     }
   }
 
   // ---- active-crawler baseline ---------------------------------------------
 
-  void schedule_crawler() {
+  void schedule_crawler(measure::MeasurementSink& sink) {
     if (!config.enable_crawler) return;
-    simulation.schedule_every(
+    crawler_task = simulation.schedule_every(
         config.crawl_interval,
-        [this] {
+        [this, &sink] {
           common::Rng prng = rng.child(common::mix64(0xc4a1, simulation.now()));
           CrawlSnapshot snapshot;
           snapshot.at = simulation.now();
@@ -616,7 +639,7 @@ struct CampaignEngine::Impl {
               if (prng.bernoulli(0.5)) ++snapshot.learned_pids;
             }
           }
-          crawls.push_back(snapshot);
+          sink.on_crawl(snapshot);
         },
         config.crawl_interval / 2);
   }
@@ -788,7 +811,8 @@ struct CampaignEngine::Impl {
 
   // ---- run -----------------------------------------------------------------
 
-  CampaignResult run() {
+  void run(measure::MeasurementSink& sink) {
+    sink.on_run_begin("campaign " + config.period.name);
     setup_vantages();
     for (Vantage& vantage : vantages) {
       vantage.recorder->start();
@@ -798,34 +822,41 @@ struct CampaignEngine::Impl {
     schedule_client_dials();
     schedule_server_outbound();
     schedule_gossip();
-    schedule_crawler();
+    schedule_crawler(sink);
     schedule_metadata_dynamics();
 
     simulation.run_until(config.period.duration);
+    // The crawler lambda holds a reference to `sink`, which dies with this
+    // call; cancel it so manual post-run stepping cannot fire it.
+    simulation.cancel(crawler_task);
+    crawler_task = sim::kInvalidTask;
 
-    CampaignResult result;
-    result.population_size = population.peers().size();
-    result.crawls = crawls;
     for (Vantage& vantage : vantages) {
       vantage.recorder->finish();
       vantage.swarm->stop();
     }
+    // Publish the per-head datasets, then the union the paper reports
+    // (§III-C).  Heads are merged before publication so the union can be
+    // built without keeping published datasets around.
+    std::vector<measure::Dataset> heads;
     for (Vantage& vantage : vantages) {
       measure::Dataset dataset = vantage.recorder->take_dataset();
       if (vantage.name == "go-ipfs") {
-        result.go_ipfs = std::move(dataset);
+        sink.on_dataset(measure::DatasetRole::kVantage, std::move(dataset));
       } else {
-        result.hydra_heads.push_back(std::move(dataset));
+        heads.push_back(std::move(dataset));
       }
     }
-    if (!result.hydra_heads.empty()) {
+    if (!heads.empty()) {
       measure::Dataset merged;
       merged.vantage = "Hydra (union)";
-      for (const measure::Dataset& head : result.hydra_heads) merged.merge(head);
-      result.hydra_union = std::move(merged);
+      for (const measure::Dataset& head : heads) merged.merge(head);
+      for (measure::Dataset& head : heads) {
+        sink.on_dataset(measure::DatasetRole::kHydraHead, std::move(head));
+      }
+      sink.on_dataset(measure::DatasetRole::kHydraUnion, std::move(merged));
     }
-    result.events_executed = simulation.executed_events();
-    return result;
+    sink.on_run_end({population.peers().size(), simulation.executed_events()});
   }
 
   // ---- members -------------------------------------------------------------
@@ -840,15 +871,58 @@ struct CampaignEngine::Impl {
   std::unordered_map<p2p::PeerId, std::uint32_t> pid_to_peer;
   std::vector<std::uint32_t> online_servers;
   std::unordered_map<std::uint32_t, std::size_t> server_pos;
-  std::vector<CrawlSnapshot> crawls;
+  sim::TaskId crawler_task = sim::kInvalidTask;
 };
+
+std::optional<std::string> CampaignEngine::validate(const CampaignConfig& config) {
+  const PeriodSpec& period = config.period;
+  if (period.duration <= 0) return "period duration must be positive";
+  if (!period.go_ipfs_present && period.hydra_heads <= 0) {
+    return "campaign needs at least one vantage (go-ipfs or hydra heads)";
+  }
+  if (period.go_ipfs_present &&
+      (period.go_low_water < 0 || period.go_high_water < period.go_low_water)) {
+    return "go-ipfs watermarks must satisfy 0 <= LowWater <= HighWater";
+  }
+  if (period.hydra_heads < 0) return "hydra head count cannot be negative";
+  if (period.hydra_heads > 0 &&
+      (period.hydra_low_water < 0 ||
+       period.hydra_high_water < period.hydra_low_water)) {
+    return "hydra watermarks must satisfy 0 <= LowWater <= HighWater";
+  }
+  if (!(config.population.scale > 0.0)) return "population scale must be positive";
+  if (config.vantage_visibility <= 0.0 || config.vantage_visibility > 1.0) {
+    return "vantage_visibility must be in (0, 1]";
+  }
+  if (config.enable_crawler && config.crawl_interval <= 0) {
+    return "crawl_interval must be positive when the crawler is enabled";
+  }
+  if (!(config.client_dials_per_hour > 0.0)) {
+    return "client_dials_per_hour must be positive";
+  }
+  return std::nullopt;
+}
+
+std::expected<CampaignEngine, std::string> CampaignEngine::create(
+    CampaignConfig config) {
+  if (auto error = validate(config)) return std::unexpected(std::move(*error));
+  return CampaignEngine(std::move(config));
+}
 
 CampaignEngine::CampaignEngine(CampaignConfig config)
     : impl_(std::make_unique<Impl>(std::move(config))) {}
 
+CampaignEngine::CampaignEngine(CampaignEngine&&) noexcept = default;
+CampaignEngine& CampaignEngine::operator=(CampaignEngine&&) noexcept = default;
 CampaignEngine::~CampaignEngine() = default;
 
-CampaignResult CampaignEngine::run() { return impl_->run(); }
+void CampaignEngine::run(measure::MeasurementSink& sink) { impl_->run(sink); }
+
+CampaignResult CampaignEngine::run() {
+  CampaignResultSink sink;
+  impl_->run(sink);
+  return sink.take_result();
+}
 
 sim::Simulation& CampaignEngine::simulation() { return impl_->simulation; }
 

@@ -1,19 +1,27 @@
 // Campaign engine: runs one measurement period (Table I) of the synthetic
-// network against the vantage nodes and returns their datasets.
+// network against the vantage nodes and streams their observations.
 //
 // This is the "campaign fidelity" mode of DESIGN.md §2: remote peers are
 // population processes that interact *only* with the vantage swarms (whose
 // connection managers, peerstores and recorders are the real
 // implementations from p2p/ and measure/).  Remote-to-remote traffic is not
 // simulated — the paper's dataset never contains it either.
+//
+// Engines are obtained through the config-validating factory
+// `CampaignEngine::create` and publish through a `measure::MeasurementSink`
+// (crawl snapshots as they happen, per-vantage datasets at the end).  The
+// monolithic `CampaignResult` of the original API is rebuilt by
+// `CampaignResultSink`, which `run()` uses as a compatibility adapter.
 #pragma once
 
+#include <expected>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "measure/recorder.hpp"
+#include "measure/sink.hpp"
 #include "scenario/period.hpp"
 #include "scenario/population.hpp"
 #include "sim/simulation.hpp"
@@ -21,11 +29,7 @@
 namespace ipfs::scenario {
 
 /// One active-crawler snapshot (the Fig. 2 baseline).
-struct CrawlSnapshot {
-  common::SimTime at = 0;
-  std::size_t reached_servers = 0;  ///< online, reachable DHT servers
-  std::size_t learned_pids = 0;     ///< incl. stale routing-table entries
-};
+using CrawlSnapshot = measure::CrawlObservation;
 
 /// Campaign configuration.
 struct CampaignConfig {
@@ -47,7 +51,8 @@ struct CampaignConfig {
   double client_dials_per_hour = 1980.0;
 };
 
-/// Datasets and baselines produced by a campaign run.
+/// Datasets and baselines produced by a campaign run (the all-in-memory
+/// compatibility shape; streaming consumers implement MeasurementSink).
 struct CampaignResult {
   std::optional<measure::Dataset> go_ipfs;
   std::vector<measure::Dataset> hydra_heads;
@@ -61,22 +66,50 @@ struct CampaignResult {
   [[nodiscard]] std::pair<std::size_t, std::size_t> crawler_min_max() const;
 };
 
+/// Compatibility adapter: rebuilds the monolithic `CampaignResult` from the
+/// sink event stream.
+class CampaignResultSink final : public measure::MeasurementSink {
+ public:
+  void on_crawl(const measure::CrawlObservation& crawl) override;
+  void on_dataset(measure::DatasetRole role, measure::Dataset dataset) override;
+  void on_run_end(const measure::RunSummary& summary) override;
+
+  [[nodiscard]] CampaignResult take_result() { return std::move(result_); }
+
+ private:
+  CampaignResult result_;
+};
+
 /// Runs one campaign.  Use a fresh engine per run.
 class CampaignEngine {
  public:
-  explicit CampaignEngine(CampaignConfig config);
-  ~CampaignEngine();
+  /// Why `config` cannot run, or nullopt when it is valid.
+  [[nodiscard]] static std::optional<std::string> validate(
+      const CampaignConfig& config);
 
+  /// Config-validating factory — the only way to obtain an engine.
+  [[nodiscard]] static std::expected<CampaignEngine, std::string> create(
+      CampaignConfig config);
+
+  CampaignEngine(CampaignEngine&&) noexcept;
+  CampaignEngine& operator=(CampaignEngine&&) noexcept;
   CampaignEngine(const CampaignEngine&) = delete;
   CampaignEngine& operator=(const CampaignEngine&) = delete;
+  ~CampaignEngine();
 
-  /// Execute the full period and collect the results.
+  /// Execute the full period, streaming observations into `sink`.
+  void run(measure::MeasurementSink& sink);
+
+  /// Execute the full period and collect the monolithic result (adapter
+  /// over `run(sink)` via CampaignResultSink).
   [[nodiscard]] CampaignResult run();
 
   /// The simulation clock (exposed for tests that step manually).
   [[nodiscard]] sim::Simulation& simulation();
 
  private:
+  explicit CampaignEngine(CampaignConfig config);
+
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };

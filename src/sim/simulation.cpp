@@ -27,11 +27,12 @@ TaskId Simulation::schedule_after(SimDuration delay, Action action) {
 }
 
 TaskId Simulation::schedule_every(SimDuration interval, Action action,
-                                  SimDuration initial_delay) {
+                                  std::optional<SimDuration> initial_delay) {
   const TaskId id = next_task_id_++;
   interval = std::max<SimDuration>(interval, 1);
-  if (initial_delay < 0) initial_delay = interval;
-  push_event(now_ + initial_delay, std::move(action), id, interval);
+  const SimDuration first =
+      std::max<SimDuration>(initial_delay.value_or(interval), 0);
+  push_event(now_ + first, std::move(action), id, interval);
   return id;
 }
 

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <queue>
 #include <unordered_set>
 #include <vector>
@@ -41,9 +42,9 @@ class Simulation {
   TaskId schedule_after(SimDuration delay, Action action);
 
   /// Schedule `action` every `interval`, first firing after `initial_delay`
-  /// (negative = one full interval, the default).  Runs until cancelled.
+  /// (defaults to one full interval when not given).  Runs until cancelled.
   TaskId schedule_every(SimDuration interval, Action action,
-                        SimDuration initial_delay = -1);
+                        std::optional<SimDuration> initial_delay = std::nullopt);
 
   /// Cancel a pending one-shot event or periodic task.  Cancelling an
   /// already-executed or unknown id is a no-op.

@@ -4,6 +4,8 @@
 // the population model or engine surface as test failures.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "analysis/classification.hpp"
 #include "analysis/connection_stats.hpp"
 #include "analysis/metadata.hpp"
@@ -31,8 +33,9 @@ const CampaignResult& p4_result() {
     config.period = PeriodSpec::P4();  // full 3-day period, 5 % population
     config.population = PopulationSpec::test_scale(0.05);
     config.seed = 20211210;
-    CampaignEngine engine(config);
-    return engine.run();
+    auto engine = CampaignEngine::create(config);
+    if (!engine) throw std::runtime_error("invalid campaign config: " + engine.error());
+    return engine->run();
   }();
   return result;
 }

@@ -1,20 +1,15 @@
 // End-to-end protocol-fidelity test: a message-level IPFS network with
 // servers, clients, a hydra and an active crawler — the full §III setup at
-// small scale, on the real (non-campaign) code path.
+// small scale, assembled through the `ipfs::runtime` facade.
 #include <gtest/gtest.h>
 
-#include "crawler/crawler.hpp"
-#include "hydra/hydra_node.hpp"
-#include "measure/recorder.hpp"
-
-#include "../testing/fidelity.hpp"
+#include "runtime/testbed.hpp"
 
 namespace ipfs {
 namespace {
 
 using common::kMinute;
 using common::kSecond;
-using ipfs::testing::FidelityNet;
 
 /// Count peer-offline closes in a dataset.
 std::size_t analysis_reason_count(const measure::Dataset& dataset) {
@@ -26,32 +21,23 @@ std::size_t analysis_reason_count(const measure::Dataset& dataset) {
 }
 
 TEST(FidelityIntegration, PassiveMeasurementObservesLiveNetwork) {
-  FidelityNet net;
+  auto testbed = runtime::TestbedBuilder().seed(99).build();
 
   // The measurement node: a go-ipfs DHT server, as in §III-A.
-  auto& vantage = net.add_node(node::NodeConfig::dht_server());
+  auto vantage = testbed.add_server();
   measure::RecorderConfig recorder_config;
   recorder_config.vantage = "go-ipfs";
   recorder_config.quantize = false;
-  measure::Recorder recorder(net.sim(), vantage.swarm(), recorder_config);
-  vantage.swarm().peerstore().add_observer(&recorder);
-  recorder.start();
+  measure::Recorder& recorder = vantage.attach_recorder(recorder_config);
 
   // The network: 15 servers, 5 clients, everyone bootstrapping via the
   // vantage (it is a bootstrap node from the network's perspective).
-  std::vector<node::GoIpfsNode*> peers;
-  for (int i = 0; i < 15; ++i) {
-    peers.push_back(&net.add_node(node::NodeConfig::dht_server()));
-  }
-  for (int i = 0; i < 5; ++i) {
-    peers.push_back(&net.add_node(node::NodeConfig::dht_client()));
-  }
-  for (auto* peer : peers) peer->bootstrap({vantage.id()});
-  net.sim().run_until(20 * kMinute);
+  testbed.add_servers(15).add_clients(5).bootstrap_all_via(vantage);
+  testbed.run_until(20 * kMinute);
 
   // One server leaves mid-measurement (node churn, not connection churn).
-  peers[3]->stop();
-  net.sim().run_until(net.sim().now() + 10 * kMinute);
+  testbed.node(4).stop();
+  testbed.run_for(10 * kMinute);
 
   recorder.finish();
   const measure::Dataset& dataset = recorder.dataset();
@@ -74,25 +60,18 @@ TEST(FidelityIntegration, PassiveMeasurementObservesLiveNetwork) {
 }
 
 TEST(FidelityIntegration, CrawlerAndPassiveHorizonsDiffer) {
-  FidelityNet net;
-  auto& vantage = net.add_node(node::NodeConfig::dht_server());
+  auto testbed = runtime::TestbedBuilder().seed(99).build();
+  auto vantage = testbed.add_server();
 
   constexpr int kServers = 12;
   constexpr int kClients = 8;
-  for (int i = 0; i < kServers; ++i) {
-    net.add_node(node::NodeConfig::dht_server()).bootstrap({vantage.id()});
-  }
-  for (int i = 0; i < kClients; ++i) {
-    net.add_node(node::NodeConfig::dht_client()).bootstrap({vantage.id()});
-  }
-  net.sim().run_until(20 * kMinute);
+  testbed.add_servers(kServers).add_clients(kClients).bootstrap_all_via(vantage);
+  testbed.run_until(20 * kMinute);
 
-  crawler::Crawler crawler(net.sim(), net.network(), p2p::PeerId::random(net.rng()),
-                           net::swarm_tcp_addr(net.ips().unique_v4()), {});
-  crawler.start();
+  crawler::Crawler& crawler = testbed.add_crawler();
   crawler::CrawlResult crawl;
   crawler.crawl({vantage.id()}, [&](crawler::CrawlResult r) { crawl = std::move(r); });
-  net.sim().run_until(net.sim().now() + 30 * kMinute);
+  testbed.run_for(30 * kMinute);
 
   // Active view: DHT servers only (vantage + the 12 servers).
   EXPECT_EQ(crawl.reached.size(), kServers + 1u);
@@ -106,21 +85,38 @@ TEST(FidelityIntegration, CrawlerAndPassiveHorizonsDiffer) {
   crawler.stop();
 }
 
+TEST(FidelityIntegration, CrawlerStreamsObservationsIntoSink) {
+  auto testbed = runtime::TestbedBuilder().seed(31).build();
+  auto vantage = testbed.add_server();
+  testbed.add_servers(8).bootstrap_all_via(vantage);
+  testbed.run_until(20 * kMinute);
+
+  measure::CollectingSink sink;
+  crawler::Crawler& crawler = testbed.add_crawler();
+  crawler.set_sink(&sink);
+  crawler.crawl({vantage.id()}, {});
+  testbed.run_for(30 * kMinute);
+
+  ASSERT_EQ(sink.crawls().size(), 1u);
+  EXPECT_EQ(sink.crawls().front().reached_servers, 9u);
+  EXPECT_GE(sink.crawls().front().learned_pids,
+            sink.crawls().front().reached_servers);
+  crawler.stop();
+}
+
 TEST(FidelityIntegration, HydraHeadsWidenTheHorizon) {
-  FidelityNet net;
-  auto& bootstrap_node = net.add_node(node::NodeConfig::dht_server());
+  auto testbed = runtime::TestbedBuilder().seed(99).build();
+  auto bootstrap_node = testbed.add_server();
 
   hydra::HydraConfig hydra_config;
   hydra_config.head_count = 2;
-  hydra::HydraNode hydra(net.sim(), net.network(), common::Rng(5),
-                         net.ips().unique_v4(), hydra_config);
-  hydra.start();
+  hydra::HydraNode& hydra = testbed.add_hydra(hydra_config);
   hydra.bootstrap({bootstrap_node.id()});
 
   for (int i = 0; i < 16; ++i) {
-    net.add_node(node::NodeConfig::dht_server()).bootstrap({bootstrap_node.id()});
+    testbed.add_server().bootstrap({bootstrap_node.id()});
   }
-  net.sim().run_until(30 * kMinute);
+  testbed.run_until(30 * kMinute);
 
   // Both heads participate in the DHT and collect peers; the union covers
   // at least what the single bootstrap node collected via inbound dials.
@@ -133,17 +129,14 @@ TEST(FidelityIntegration, HydraHeadsWidenTheHorizon) {
 TEST(FidelityIntegration, TrimmingCausesConnectionChurnNotNodeChurn) {
   // The paper's headline finding at protocol fidelity: every node stays
   // online, yet connections churn because of the connection manager.
-  FidelityNet net;
-  auto& vantage = net.add_node(node::NodeConfig::dht_server(3, 5));
+  auto testbed = runtime::TestbedBuilder().seed(99).build();
+  auto vantage = testbed.add_server(node::NodeConfig::dht_server(3, 5));
   measure::RecorderConfig recorder_config;
   recorder_config.quantize = false;
-  measure::Recorder recorder(net.sim(), vantage.swarm(), recorder_config);
-  recorder.start();
+  measure::Recorder& recorder = vantage.attach_recorder(recorder_config);
 
-  for (int i = 0; i < 10; ++i) {
-    net.add_node(node::NodeConfig::dht_client()).bootstrap({vantage.id()});
-  }
-  net.sim().run_until(30 * kMinute);
+  testbed.add_clients(10).bootstrap_all_via(vantage);
+  testbed.run_until(30 * kMinute);
   recorder.finish();
 
   const auto reasons = [&] {

@@ -19,6 +19,16 @@ CampaignConfig small_config(PeriodSpec period, double scale = 0.02,
   return config;
 }
 
+/// Factory + run in one step; fails the test on an invalid config.
+CampaignResult run_campaign(CampaignConfig config) {
+  auto engine = CampaignEngine::create(std::move(config));
+  if (!engine) {
+    ADD_FAILURE() << "invalid campaign config: " << engine.error();
+    return {};
+  }
+  return engine->run();
+}
+
 TEST(Campaign, PeriodPresetsMatchTableOne) {
   const auto p0 = PeriodSpec::P0();
   EXPECT_EQ(p0.duration, 3 * kDay);
@@ -39,11 +49,42 @@ TEST(Campaign, PeriodPresetsMatchTableOne) {
   EXPECT_EQ(PeriodSpec::table1().size(), 5u);
 }
 
+TEST(Campaign, FactoryRejectsInvalidConfigs) {
+  // Every Table I preset passes validation.
+  for (const auto& period : PeriodSpec::table1()) {
+    EXPECT_EQ(CampaignEngine::validate(small_config(period)), std::nullopt)
+        << period.name;
+  }
+
+  auto no_duration = small_config(PeriodSpec::P4());
+  no_duration.period.duration = 0;
+  EXPECT_FALSE(CampaignEngine::create(no_duration).has_value());
+
+  auto inverted_watermarks = small_config(PeriodSpec::P4());
+  inverted_watermarks.period.go_low_water = 900;
+  inverted_watermarks.period.go_high_water = 600;
+  EXPECT_FALSE(CampaignEngine::create(inverted_watermarks).has_value());
+
+  auto no_vantage = small_config(PeriodSpec::P4());
+  no_vantage.period.go_ipfs_present = false;
+  no_vantage.period.hydra_heads = 0;
+  EXPECT_FALSE(CampaignEngine::create(no_vantage).has_value());
+
+  auto bad_scale = small_config(PeriodSpec::P4(), 0.02);
+  bad_scale.population.scale = 0.0;
+  EXPECT_FALSE(CampaignEngine::create(bad_scale).has_value());
+
+  auto bad_visibility = small_config(PeriodSpec::P4());
+  bad_visibility.vantage_visibility = 1.5;
+  const auto error = CampaignEngine::create(bad_visibility);
+  ASSERT_FALSE(error.has_value());
+  EXPECT_FALSE(error.error().empty());
+}
+
 TEST(Campaign, ProducesDatasetsPerVantage) {
   auto period = PeriodSpec::P1();
   period.duration = 6 * kHour;  // shorten for the test
-  CampaignEngine engine(small_config(period));
-  const auto result = engine.run();
+  const auto result = run_campaign(small_config(period));
   ASSERT_TRUE(result.go_ipfs.has_value());
   ASSERT_EQ(result.hydra_heads.size(), 2u);
   ASSERT_TRUE(result.hydra_union.has_value());
@@ -56,32 +97,71 @@ TEST(Campaign, ProducesDatasetsPerVantage) {
 TEST(Campaign, DeterministicAcrossRuns) {
   auto period = PeriodSpec::P4();
   period.duration = 6 * kHour;
-  const auto run = [&] {
-    CampaignEngine engine(small_config(period));
-    return engine.run();
-  };
-  const auto a = run();
-  const auto b = run();
+  const auto a = run_campaign(small_config(period));
+  const auto b = run_campaign(small_config(period));
   EXPECT_EQ(a.go_ipfs->peer_count(), b.go_ipfs->peer_count());
   EXPECT_EQ(a.go_ipfs->connection_count(), b.go_ipfs->connection_count());
   EXPECT_EQ(a.events_executed, b.events_executed);
 }
 
+TEST(Campaign, StreamingSinkMatchesMonolithicResult) {
+  // The acceptance bar for the sink redesign: a same-seed run through the
+  // streaming API reproduces the compatibility adapter's counters exactly.
+  auto period = PeriodSpec::P1();
+  period.duration = 6 * kHour;
+
+  const auto via_result_api = run_campaign(small_config(period));
+
+  auto engine = CampaignEngine::create(small_config(period));
+  ASSERT_TRUE(engine.has_value());
+  measure::CollectingSink sink;
+  engine->run(sink);
+
+  const auto* go_ipfs = sink.find(measure::DatasetRole::kVantage);
+  ASSERT_NE(go_ipfs, nullptr);
+  EXPECT_EQ(go_ipfs->peer_count(), via_result_api.go_ipfs->peer_count());
+  EXPECT_EQ(go_ipfs->connection_count(), via_result_api.go_ipfs->connection_count());
+
+  std::size_t heads = 0;
+  for (const auto& entry : sink.datasets()) {
+    if (entry.role == measure::DatasetRole::kHydraHead) {
+      EXPECT_EQ(entry.dataset.peer_count(),
+                via_result_api.hydra_heads[heads].peer_count());
+      EXPECT_EQ(entry.dataset.connection_count(),
+                via_result_api.hydra_heads[heads].connection_count());
+      ++heads;
+    }
+  }
+  EXPECT_EQ(heads, via_result_api.hydra_heads.size());
+
+  const auto* hydra_union = sink.find(measure::DatasetRole::kHydraUnion);
+  ASSERT_NE(hydra_union, nullptr);
+  EXPECT_EQ(hydra_union->peer_count(), via_result_api.hydra_union->peer_count());
+
+  ASSERT_EQ(sink.crawls().size(), via_result_api.crawls.size());
+  for (std::size_t i = 0; i < sink.crawls().size(); ++i) {
+    EXPECT_EQ(sink.crawls()[i].at, via_result_api.crawls[i].at);
+    EXPECT_EQ(sink.crawls()[i].reached_servers,
+              via_result_api.crawls[i].reached_servers);
+    EXPECT_EQ(sink.crawls()[i].learned_pids, via_result_api.crawls[i].learned_pids);
+  }
+
+  EXPECT_EQ(sink.summary().population_size, via_result_api.population_size);
+  EXPECT_EQ(sink.summary().events_executed, via_result_api.events_executed);
+}
+
 TEST(Campaign, DifferentSeedsDiffer) {
   auto period = PeriodSpec::P4();
   period.duration = 6 * kHour;
-  CampaignEngine engine_a(small_config(period, 0.02, 1));
-  CampaignEngine engine_b(small_config(period, 0.02, 2));
-  const auto a = engine_a.run();
-  const auto b = engine_b.run();
+  const auto a = run_campaign(small_config(period, 0.02, 1));
+  const auto b = run_campaign(small_config(period, 0.02, 2));
   EXPECT_NE(a.go_ipfs->connection_count(), b.go_ipfs->connection_count());
 }
 
 TEST(Campaign, HydraUnionAtLeastEachHead) {
   auto period = PeriodSpec::P1();
   period.duration = 6 * kHour;
-  CampaignEngine engine(small_config(period));
-  const auto result = engine.run();
+  const auto result = run_campaign(small_config(period));
   for (const auto& head : result.hydra_heads) {
     EXPECT_GE(result.hydra_union->peer_count(), head.peer_count());
   }
@@ -97,8 +177,7 @@ TEST(Campaign, LowWatermarksCauseTrimming) {
   period.hydra_heads = 0;
   period.go_low_water = 12;  // scaled-down equivalents
   period.go_high_water = 18;
-  CampaignEngine engine(small_config(period));
-  const auto result = engine.run();
+  const auto result = run_campaign(small_config(period));
   const auto reasons = analysis::compute_close_reasons(*result.go_ipfs);
   EXPECT_GT(reasons.local_trim, 0u);
 }
@@ -106,8 +185,7 @@ TEST(Campaign, LowWatermarksCauseTrimming) {
 TEST(Campaign, HighWatermarksAvoidOwnTrimming) {
   auto period = PeriodSpec::P4();  // 18k/20k: far above a 2 % population
   period.duration = 6 * kHour;
-  CampaignEngine engine(small_config(period));
-  const auto result = engine.run();
+  const auto result = run_campaign(small_config(period));
   const auto reasons = analysis::compute_close_reasons(*result.go_ipfs);
   EXPECT_EQ(reasons.local_trim, 0u);
   EXPECT_GT(reasons.remote_trim + reasons.remote_close, 0u);
@@ -119,10 +197,8 @@ TEST(Campaign, ClientVantageSeesFewerPeersWithOutboundConns) {
   auto client_period = PeriodSpec::P3();
   client_period.duration = 6 * kHour;
 
-  CampaignEngine server_engine(small_config(server_period));
-  CampaignEngine client_engine(small_config(client_period));
-  const auto server_result = server_engine.run();
-  const auto client_result = client_engine.run();
+  const auto server_result = run_campaign(small_config(server_period));
+  const auto client_result = run_campaign(small_config(client_period));
 
   EXPECT_LT(client_result.go_ipfs->peer_count(), server_result.go_ipfs->peer_count());
 
@@ -134,8 +210,7 @@ TEST(Campaign, ClientVantageSeesFewerPeersWithOutboundConns) {
 TEST(Campaign, CrawlerSnapshotsCollected) {
   auto period = PeriodSpec::P4();
   period.duration = 18 * kHour;
-  CampaignEngine engine(small_config(period));
-  const auto result = engine.run();
+  const auto result = run_campaign(small_config(period));
   EXPECT_GE(result.crawls.size(), 2u);
   for (const auto& crawl : result.crawls) {
     EXPECT_GT(crawl.reached_servers, 0u);
@@ -151,8 +226,7 @@ TEST(Campaign, CrawlerDisabled) {
   period.duration = 6 * kHour;
   auto config = small_config(period);
   config.enable_crawler = false;
-  CampaignEngine engine(config);
-  EXPECT_TRUE(engine.run().crawls.empty());
+  EXPECT_TRUE(run_campaign(config).crawls.empty());
 }
 
 TEST(Campaign, MetadataDynamicsToggle) {
@@ -160,8 +234,7 @@ TEST(Campaign, MetadataDynamicsToggle) {
   period.duration = 12 * kHour;
   auto config = small_config(period, 0.05);
   config.enable_metadata_dynamics = false;
-  CampaignEngine engine(config);
-  const auto result = engine.run();
+  const auto result = run_campaign(config);
   // Without dynamics no peer ever changes its agent string.
   for (const auto& peer : result.go_ipfs->peers()) {
     EXPECT_LE(peer.agent_history.size(), 1u);
@@ -171,8 +244,7 @@ TEST(Campaign, MetadataDynamicsToggle) {
 TEST(Campaign, RecorderQuantisesToPollGrid) {
   auto period = PeriodSpec::P4();
   period.duration = 6 * kHour;
-  CampaignEngine engine(small_config(period));
-  const auto result = engine.run();
+  const auto result = run_campaign(small_config(period));
   for (const auto& record : result.go_ipfs->connections()) {
     EXPECT_EQ(record.opened % (30 * common::kSecond), 0) << "30 s poll grid";
     EXPECT_GE(record.closed, record.opened);

@@ -116,6 +116,26 @@ TEST(Simulation, PeriodicInitialDelay) {
   EXPECT_EQ(fire_times[3], 307);
 }
 
+TEST(Simulation, PeriodicDefaultInitialDelayIsOneInterval) {
+  Simulation sim;
+  std::vector<SimTime> fire_times;
+  sim.schedule_every(100, [&] { fire_times.push_back(sim.now()); });
+  sim.run_until(250);
+  ASSERT_EQ(fire_times.size(), 2u);
+  EXPECT_EQ(fire_times[0], 100);
+  EXPECT_EQ(fire_times[1], 200);
+}
+
+TEST(Simulation, PeriodicZeroInitialDelayFiresImmediately) {
+  Simulation sim;
+  std::vector<SimTime> fire_times;
+  sim.schedule_every(100, [&] { fire_times.push_back(sim.now()); }, 0);
+  sim.run_until(150);
+  ASSERT_EQ(fire_times.size(), 2u);
+  EXPECT_EQ(fire_times[0], 0);
+  EXPECT_EQ(fire_times[1], 100);
+}
+
 TEST(Simulation, StepReturnsFalseWhenEmpty) {
   Simulation sim;
   EXPECT_FALSE(sim.step());

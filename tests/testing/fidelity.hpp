@@ -1,53 +1,41 @@
-// Shared harness for protocol-fidelity tests: a message-level network of
-// real GoIpfsNodes (full swarm / DHT / identify / bitswap stacks).
+// Shared harness for protocol-fidelity unit tests: a thin adapter over the
+// `ipfs::runtime` facade that hands out raw node references and keeps a
+// spare RNG for ad-hoc identities.
 #pragma once
 
-#include <memory>
-#include <vector>
-
-#include "net/ip_allocator.hpp"
-#include "net/network.hpp"
-#include "node/go_ipfs_node.hpp"
-#include "sim/simulation.hpp"
+#include "runtime/testbed.hpp"
 
 namespace ipfs::testing {
 
 class FidelityNet {
  public:
   explicit FidelityNet(std::uint64_t seed = 99)
-      : network_(sim_, common::Rng(seed)), rng_(seed ^ 0x5eedULL),
-        ips_(common::Rng(seed ^ 0x1bULL)) {}
+      : testbed_(runtime::TestbedBuilder().seed(seed).build()),
+        rng_(seed ^ 0x5eedULL) {}
 
   node::GoIpfsNode& add_node(node::NodeConfig config = {}) {
-    const auto id = p2p::PeerId::random(rng_);
-    const auto address = net::swarm_tcp_addr(ips_.unique_v4());
-    nodes_.push_back(
-        std::make_unique<node::GoIpfsNode>(sim_, network_, id, address, config));
-    nodes_.back()->start();
-    return *nodes_.back();
+    return testbed_.add_node(std::move(config)).node();
   }
 
   /// Dial every node into node 0 and run the boot lookups.
   void bootstrap_all(common::SimDuration settle = 30 * common::kSecond) {
-    for (std::size_t i = 1; i < nodes_.size(); ++i) {
-      nodes_[i]->bootstrap({nodes_[0]->id()});
-    }
-    sim_.run_until(sim_.now() + settle);
+    if (testbed_.node_count() > 1) testbed_.bootstrap_all_via(testbed_.node(0));
+    testbed_.run_for(settle);
   }
 
-  [[nodiscard]] sim::Simulation& sim() noexcept { return sim_; }
-  [[nodiscard]] net::Network& network() noexcept { return network_; }
-  [[nodiscard]] node::GoIpfsNode& node(std::size_t i) { return *nodes_.at(i); }
-  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] runtime::Testbed& testbed() noexcept { return testbed_; }
+  [[nodiscard]] sim::Simulation& sim() noexcept { return testbed_.simulation(); }
+  [[nodiscard]] net::Network& network() noexcept { return testbed_.network(); }
+  [[nodiscard]] node::GoIpfsNode& node(std::size_t i) {
+    return testbed_.node(i).node();
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return testbed_.node_count(); }
   [[nodiscard]] common::Rng& rng() noexcept { return rng_; }
-  [[nodiscard]] net::IpAllocator& ips() noexcept { return ips_; }
+  [[nodiscard]] net::IpAllocator& ips() noexcept { return testbed_.ips(); }
 
  private:
-  sim::Simulation sim_;
-  net::Network network_;
+  runtime::Testbed testbed_;
   common::Rng rng_;
-  net::IpAllocator ips_;
-  std::vector<std::unique_ptr<node::GoIpfsNode>> nodes_;
 };
 
 }  // namespace ipfs::testing
