@@ -6,16 +6,6 @@
 
 namespace ipfs::dht {
 
-namespace {
-
-void sort_by_distance(std::vector<PeerId>& peers, const PeerId& target) {
-  std::sort(peers.begin(), peers.end(), [&](const PeerId& a, const PeerId& b) {
-    return closer_to(target, a, b);
-  });
-}
-
-}  // namespace
-
 KadEngine::KadEngine(sim::Simulation& simulation, net::Network& network, PeerId self,
                      Mode mode)
     : simulation_(simulation), network_(network), self_(self), mode_(mode),
@@ -61,7 +51,8 @@ void KadEngine::lookup(const PeerId& target, std::function<void(LookupResult)> d
   LookupState state;
   state.target = target;
   state.done = std::move(done);
-  state.frontier = table_.closest(target, kReplication);
+  state.frontier = table_.closest(target, kReplication);  // ascending distance
+  state.in_frontier.insert(state.frontier.begin(), state.frontier.end());
   lookups_.emplace(lookup_id, std::move(state));
   advance_lookup(lookup_id);
 }
@@ -109,9 +100,8 @@ void KadEngine::advance_lookup(std::uint64_t lookup_id) {
   LookupState& state = it->second;
   if (state.finished) return;
 
-  sort_by_distance(state.frontier, state.target);
-
-  // Query up to alpha closest uncontacted candidates.
+  // Query up to alpha closest uncontacted candidates (the frontier is
+  // maintained in ascending-distance order, so iteration order is rank).
   std::size_t started = 0;
   for (const PeerId& candidate : state.frontier) {
     if (state.in_flight >= kAlpha) break;
@@ -138,10 +128,16 @@ void KadEngine::on_response(std::uint64_t lookup_id, const PeerId& from,
   table_.add(from, simulation_.now());
   for (const PeerId& peer : response.closer_peers) {
     if (peer == self_) continue;
-    if (std::find(state.frontier.begin(), state.frontier.end(), peer) ==
-        state.frontier.end()) {
-      state.frontier.push_back(peer);
-    }
+    if (!state.in_frontier.insert(peer).second) continue;  // already known
+    // Sorted insertion preserves the ascending-distance invariant; distinct
+    // peers never tie under the XOR metric, so the resulting order is the
+    // same one a full re-sort used to produce.
+    const auto at = std::lower_bound(
+        state.frontier.begin(), state.frontier.end(), peer,
+        [&](const PeerId& a, const PeerId& b) {
+          return closer_to(state.target, a, b);
+        });
+    state.frontier.insert(at, peer);
   }
   advance_lookup(lookup_id);
 }
@@ -152,8 +148,7 @@ void KadEngine::finish_lookup(std::uint64_t lookup_id, bool converged) {
   LookupState& state = it->second;
   state.finished = true;
   LookupResult result;
-  sort_by_distance(state.frontier, state.target);
-  result.closest = state.frontier;
+  result.closest = state.frontier;  // already ascending by distance
   if (result.closest.size() > kReplication) result.closest.resize(kReplication);
   result.queried_count = state.queried;
   result.converged = converged;

@@ -88,8 +88,11 @@ class KadEngine {
     std::function<void(LookupResult)> done;
     /// Peers already queried or in flight.
     std::unordered_set<PeerId> contacted;
-    /// Candidate frontier, sorted lazily by distance to target.
+    /// Candidate frontier, kept sorted ascending by distance to target
+    /// (sorted insertion on response; never re-sorted wholesale).
     std::vector<PeerId> frontier;
+    /// Membership index over `frontier` — O(1) dedup of response peers.
+    std::unordered_set<PeerId> in_frontier;
     std::size_t in_flight = 0;
     std::size_t queried = 0;
     bool finished = false;

@@ -53,14 +53,76 @@ bool RoutingTable::contains(const PeerId& peer) const {
                      [&](const BucketEntry& e) { return e.peer == peer; });
 }
 
+// Selection walks buckets outward from the target's bucket instead of
+// sorting the whole table.  Correctness rests on how the XOR metric
+// partitions buckets relative to `target` (let b* = bucket_index(self,
+// target), i.e. the length of the common prefix of self and target):
+//
+//   - peers in bucket b* share b*+1 leading bits with the target — they
+//     are strictly closer than everything else;
+//   - peers in any bucket deeper than b* first differ from the target at
+//     bit b*, so the deep buckets form ONE group whose members interleave
+//     with each other but all rank after bucket b*;
+//   - peers in a bucket b < b* first differ from the target at bit b, so
+//     each shallow bucket is its own group and groups rank by descending b.
+//
+// Groups are therefore emitted in order (bucket b*, union of deeper
+// buckets, b*-1, b*-2, …); within a group members are selected with
+// nth_element and sorted.  Distinct peers never tie under the XOR metric,
+// so the output is exactly the prefix the old sort-everything
+// implementation produced — same peers, same order.  The walk stops as
+// soon as `count` peers are collected: cost is O(g log g) over the few
+// groups actually touched instead of O(n log n) over the whole table.
 std::vector<PeerId> RoutingTable::closest(const PeerId& target,
                                           std::size_t count) const {
-  std::vector<PeerId> peers = all_peers();
-  std::sort(peers.begin(), peers.end(), [&](const PeerId& a, const PeerId& b) {
+  std::vector<PeerId> out;
+  if (count == 0) return out;
+  out.reserve(std::min(count, size_));
+
+  const auto cmp = [&](const PeerId& a, const PeerId& b) {
     return closer_to(target, a, b);
-  });
-  if (peers.size() > count) peers.resize(count);
-  return peers;
+  };
+  std::vector<PeerId> group;
+  // Select the (count - out.size()) closest members of `group` and append
+  // them to `out` in ascending distance order.
+  const auto take_group = [&] {
+    if (group.empty()) return;
+    const std::size_t need = count - out.size();
+    if (group.size() > need) {
+      std::nth_element(group.begin(),
+                       group.begin() + static_cast<std::ptrdiff_t>(need),
+                       group.end(), cmp);
+      group.resize(need);
+    }
+    std::sort(group.begin(), group.end(), cmp);
+    out.insert(out.end(), group.begin(), group.end());
+    group.clear();
+  };
+  const auto add_bucket = [&](std::size_t b) {
+    for (const BucketEntry& entry : buckets_[b]) group.push_back(entry.peer);
+  };
+
+  const auto index = bucket_index(self_, target);
+  if (index) {
+    const std::size_t b = *index;
+    add_bucket(b);
+    take_group();
+    if (out.size() < count) {
+      for (std::size_t i = b + 1; i < kBucketCount; ++i) add_bucket(i);
+      take_group();
+    }
+    for (std::size_t i = b; i-- > 0 && out.size() < count;) {
+      add_bucket(i);
+      take_group();
+    }
+  } else {
+    // target == self: distance order is exactly descending bucket depth.
+    for (std::size_t i = kBucketCount; i-- > 0 && out.size() < count;) {
+      add_bucket(i);
+      take_group();
+    }
+  }
+  return out;
 }
 
 std::size_t RoutingTable::deepest_bucket() const noexcept {

@@ -47,6 +47,9 @@ class RoutingTable {
   [[nodiscard]] bool contains(const PeerId& peer) const;
 
   /// Up to `count` peers closest to `target`, ascending by XOR distance.
+  /// Walks buckets outward from the target's bucket and selects per
+  /// distance-group with nth_element — O(g log g) in the few entries
+  /// actually examined, not O(n log n) in the table (DESIGN.md §7).
   [[nodiscard]] std::vector<PeerId> closest(const PeerId& target,
                                             std::size_t count) const;
 

@@ -1,6 +1,8 @@
 #include "measure/sink.hpp"
 
 #include <ostream>
+#include <type_traits>
+#include <utility>
 
 namespace ipfs::measure {
 
@@ -19,6 +21,38 @@ const Dataset* CollectingSink::find(DatasetRole role) const noexcept {
     if (entry.role == role) return &entry.dataset;
   }
   return nullptr;
+}
+
+void ReplaySink::on_run_begin(const std::string& description) {
+  events_.push_back(BeginEvent{description});
+}
+
+void ReplaySink::on_crawl(const CrawlObservation& crawl) { events_.push_back(crawl); }
+
+void ReplaySink::on_dataset(DatasetRole role, Dataset dataset) {
+  events_.push_back(DatasetEvent{role, std::move(dataset)});
+}
+
+void ReplaySink::on_run_end(const RunSummary& summary) { events_.push_back(summary); }
+
+void ReplaySink::replay(MeasurementSink& sink) {
+  for (Event& event : events_) {
+    std::visit(
+        [&sink](auto& e) {
+          using T = std::decay_t<decltype(e)>;
+          if constexpr (std::is_same_v<T, BeginEvent>) {
+            sink.on_run_begin(e.description);
+          } else if constexpr (std::is_same_v<T, CrawlObservation>) {
+            sink.on_crawl(e);
+          } else if constexpr (std::is_same_v<T, DatasetEvent>) {
+            sink.on_dataset(e.role, std::move(e.dataset));
+          } else {
+            sink.on_run_end(e);
+          }
+        },
+        event);
+  }
+  events_.clear();
 }
 
 void FanOutSink::on_run_begin(const std::string& description) {

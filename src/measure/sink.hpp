@@ -15,6 +15,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <variant>
 #include <vector>
 
 #include "common/sim_time.hpp"
@@ -96,6 +97,38 @@ class CollectingSink final : public MeasurementSink {
   std::vector<CrawlObservation> crawls_;
   std::vector<Entry> datasets_;
   RunSummary summary_;
+};
+
+/// Records the complete event stream — begin, crawls, datasets, end — in
+/// publication order and replays it into another sink later, byte-for-byte
+/// equivalent to having published there directly.  This is how
+/// `runtime::ParallelTrialRunner` buffers each concurrent trial's output so
+/// the merged stream can be emitted in deterministic trial order
+/// (DESIGN.md §7).
+class ReplaySink final : public MeasurementSink {
+ public:
+  void on_run_begin(const std::string& description) override;
+  void on_crawl(const CrawlObservation& crawl) override;
+  void on_dataset(DatasetRole role, Dataset dataset) override;
+  void on_run_end(const RunSummary& summary) override;
+
+  /// Replay the recorded stream into `sink` in original order.  Datasets
+  /// are moved out; a ReplaySink replays once.
+  void replay(MeasurementSink& sink);
+
+  [[nodiscard]] std::size_t event_count() const noexcept { return events_.size(); }
+
+ private:
+  struct BeginEvent {
+    std::string description;
+  };
+  struct DatasetEvent {
+    DatasetRole role = DatasetRole::kOther;
+    Dataset dataset;
+  };
+  using Event = std::variant<BeginEvent, CrawlObservation, DatasetEvent, RunSummary>;
+
+  std::vector<Event> events_;
 };
 
 /// Broadcasts every event to several sinks (e.g. keep results in memory

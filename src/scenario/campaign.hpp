@@ -81,6 +81,11 @@ class CampaignResultSink final : public measure::MeasurementSink {
 };
 
 /// Runs one campaign.  Use a fresh engine per run.
+///
+/// Engines are thread-confined (one virtual clock, one RNG tree — no
+/// internal locking) but fully independent of each other: running
+/// distinct engines on distinct threads is safe and deterministic, which
+/// is how `runtime::ParallelTrialRunner` executes sweeps (DESIGN.md §7).
 class CampaignEngine {
  public:
   /// Why `config` cannot run, or nullopt when it is valid.

@@ -24,6 +24,12 @@ using TaskId = std::uint64_t;
 inline constexpr TaskId kInvalidTask = 0;
 
 /// Single-threaded discrete-event simulator.
+///
+/// Thread confinement is the concurrency contract (DESIGN.md §7): a
+/// Simulation has no internal synchronisation and must only ever be
+/// touched from one thread, but *distinct* Simulations share nothing, so
+/// independent runs may execute on as many threads as there are cores
+/// (see `runtime::ParallelTrialRunner`).
 class Simulation {
  public:
   using Action = std::function<void()>;

@@ -116,6 +116,53 @@ TEST(RoutingTable, AllPeersMatchesSize) {
   EXPECT_EQ(table.all_peers().size(), table.size());
 }
 
+/// The old sort-everything implementation, kept as the oracle: XOR
+/// distances of distinct peers never tie, so its output is the unique
+/// correct answer (set AND order).
+std::vector<PeerId> reference_closest(const RoutingTable& table, const PeerId& target,
+                                      std::size_t count) {
+  std::vector<PeerId> peers = table.all_peers();
+  std::sort(peers.begin(), peers.end(), [&](const PeerId& a, const PeerId& b) {
+    return closer_to(target, a, b);
+  });
+  if (peers.size() > count) peers.resize(count);
+  return peers;
+}
+
+TEST(RoutingTable, ClosestMatchesSortEverythingReference) {
+  common::Rng rng(0xc105e57);
+  for (int round = 0; round < 40; ++round) {
+    const PeerId self = PeerId::random(rng);
+    RoutingTable table(self);
+    std::vector<PeerId> members;
+    const auto inserts = static_cast<int>(rng.uniform_u64(2500));
+    for (int i = 0; i < inserts; ++i) {
+      // Mix in near-self peers so deep buckets populate too (purely random
+      // identities only ever fill the shallow buckets).
+      const PeerId peer =
+          rng.bernoulli(0.25)
+              ? PeerId::with_prefix(self.prefix64(),
+                                    1 + static_cast<unsigned>(rng.uniform_u64(60)),
+                                    rng)
+              : PeerId::random(rng);
+      if (table.add(peer, 0)) members.push_back(peer);
+    }
+    std::vector<PeerId> targets = {PeerId::random(rng), self,
+                                   PeerId::with_prefix(self.prefix64(), 24, rng)};
+    if (!members.empty()) {
+      targets.push_back(members[rng.uniform_u64(members.size())]);
+    }
+    for (const PeerId& target : targets) {
+      for (const std::size_t count :
+           {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{20},
+            std::size_t{100}, table.size() + 5}) {
+        EXPECT_EQ(table.closest(target, count), reference_closest(table, target, count))
+            << "round=" << round << " count=" << count;
+      }
+    }
+  }
+}
+
 TEST(RoutingTable, DeepestBucketGrowsWithClosePeers) {
   common::Rng rng(6);
   const PeerId self = PeerId::from_seed(42);
