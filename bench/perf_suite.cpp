@@ -14,11 +14,13 @@
 //   --smoke   tiny sizes for CI (seconds, no timing assertions)
 //   --out     output path, default ./BENCH_core.json
 // IPFS_SCALE / IPFS_SEED tune the campaign section (see bench/README.md).
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_support.hpp"
@@ -260,14 +262,17 @@ int main(int argc, char** argv) {
   json.field("trials", static_cast<std::uint64_t>(campaign.trials));
   json.field("scale", campaign.scale);
   json.field("workers", static_cast<std::uint64_t>(campaign.workers));
+  json.field("hardware_concurrency",
+             static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
   json.field("sequential_ms", campaign.sequential_ms);
   json.field("parallel_ms", campaign.parallel_ms);
   json.field("speedup", campaign.sequential_ms / campaign.parallel_ms);
   if (campaign.workers == 1) {
     json.field("note",
-               "single-core host: the parallel path degenerates to the "
-               "sequential loop plus per-trial stream buffering, so speedup "
-               "<= 1 here measures buffering overhead, not parallelism");
+               "single worker (see hardware_concurrency): the parallel path "
+               "degenerates to the sequential loop plus per-trial stream "
+               "buffering, so speedup <= 1 here measures buffering overhead, "
+               "not parallelism");
   }
   json.end_object();
   json.end_object();

@@ -77,8 +77,9 @@ void Dataset::merge(const Dataset& other) {
   by_peer_cache_.clear();
 }
 
-void Dataset::export_json(std::ostream& out, bool include_connections) const {
-  common::JsonWriter json(out, /*pretty=*/true);
+void Dataset::export_json(std::ostream& out, bool include_connections,
+                          bool pretty) const {
+  common::JsonWriter json(out, pretty);
   json.begin_object();
   json.field("vantage", vantage);
   json.field("measurement_start_ms", measurement_start);

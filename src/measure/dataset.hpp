@@ -116,7 +116,8 @@ class Dataset {
   void merge(const Dataset& other);
 
   /// Export in the spirit of the paper's periodic JSON dumps.
-  void export_json(std::ostream& out, bool include_connections = true) const;
+  void export_json(std::ostream& out, bool include_connections = true,
+                   bool pretty = true) const;
 
  private:
   std::vector<PeerRecord> peers_;

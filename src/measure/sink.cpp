@@ -16,6 +16,14 @@ std::string_view to_string(DatasetRole role) noexcept {
   return "other";
 }
 
+std::optional<DatasetRole> role_from_string(std::string_view name) noexcept {
+  for (const DatasetRole role : {DatasetRole::kVantage, DatasetRole::kHydraHead,
+                                 DatasetRole::kHydraUnion, DatasetRole::kOther}) {
+    if (to_string(role) == name) return role;
+  }
+  return std::nullopt;
+}
+
 const Dataset* CollectingSink::find(DatasetRole role) const noexcept {
   for (const Entry& entry : datasets_) {
     if (entry.role == role) return &entry.dataset;
@@ -77,7 +85,7 @@ void FanOutSink::on_run_end(const RunSummary& summary) {
 
 void JsonExportSink::on_dataset(DatasetRole role, Dataset dataset) {
   if (options_.role_filter && *options_.role_filter != role) return;
-  dataset.export_json(out_, options_.include_connections);
+  dataset.export_json(out_, options_.include_connections, options_.pretty);
   out_ << "\n";
   ++exported_;
 }

@@ -32,6 +32,10 @@ enum class DatasetRole : std::uint8_t {
 };
 
 [[nodiscard]] std::string_view to_string(DatasetRole role) noexcept;
+/// Inverse of `to_string`; nullopt for unknown names.  Scenario files use
+/// these names to pick an export role filter (docs/SCENARIOS.md).
+[[nodiscard]] std::optional<DatasetRole> role_from_string(
+    std::string_view name) noexcept;
 
 /// One active-crawler snapshot (the Fig. 2 baseline).
 struct CrawlObservation {
@@ -156,6 +160,9 @@ class JsonExportSink final : public MeasurementSink {
  public:
   struct Options {
     bool include_connections = false;
+    /// Pretty-print the exported documents (scenario specs can opt for
+    /// compact single-line output instead).
+    bool pretty = true;
     /// When set, only datasets with this role are exported.
     std::optional<DatasetRole> role_filter;
   };

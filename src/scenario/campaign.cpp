@@ -228,7 +228,7 @@ struct CampaignEngine::Impl {
   void schedule_population() {
     common::Rng srng = rng.child(0x5e5);
     for (const RemotePeer& peer : population.peers()) {
-      const CategoryParams& params = default_params(peer.category);
+      const CategoryParams& params = config.population.params(peer.category);
       switch (params.session) {
         case SessionKind::kAlwaysOn: {
           // Ramp the always-on population in over the first 30 minutes so
@@ -265,7 +265,7 @@ struct CampaignEngine::Impl {
     simulation.schedule_after(delay, [this, index] {
       if (simulation.now() >= config.period.duration) return;
       const CategoryParams& params =
-          default_params(population.peers()[index].category);
+          config.population.params(population.peers()[index].category);
       common::Rng prng = peer_rng(index);
       const auto length = std::max<SimDuration>(
           static_cast<SimDuration>(
@@ -292,7 +292,7 @@ struct CampaignEngine::Impl {
     state.online = true;
     state.session_end = session_end;
     const RemotePeer& peer = population.peers()[index];
-    const CategoryParams& params = default_params(peer.category);
+    const CategoryParams& params = config.population.params(peer.category);
     common::Rng prng = peer_rng(index);
 
     if (peer.dht_server) add_online_server(index);
@@ -343,7 +343,7 @@ struct CampaignEngine::Impl {
     if (!state.online || simulation.now() >= config.period.duration) return;
     if (maintained_flag(index, v) != 0) return;  // already maintained
     const RemotePeer& peer = population.peers()[index];
-    const CategoryParams& params = default_params(peer.category);
+    const CategoryParams& params = config.population.params(peer.category);
     Vantage& vantage = vantages[v];
     common::Rng prng = peer_rng(index ^ 0x40000000u);
 
@@ -370,7 +370,7 @@ struct CampaignEngine::Impl {
     const PeerState& state = peer_states[index];
     if (!state.online) return;
     const RemotePeer& peer = population.peers()[index];
-    const CategoryParams& params = default_params(peer.category);
+    const CategoryParams& params = config.population.params(peer.category);
     common::Rng prng = peer_rng(index ^ 0x20000000u);
     const double mean_gap_s = 3600.0 / params.queries_per_hour;
     const auto delay =
@@ -391,7 +391,7 @@ struct CampaignEngine::Impl {
     if (maintained_flag(index, v) != 0) return;
     const RemotePeer& peer = population.peers()[index];
     const PeerState& state = peer_states[index];
-    const CategoryParams& params = default_params(peer.category);
+    const CategoryParams& params = config.population.params(peer.category);
     Vantage& vantage = vantages[v];
     common::Rng prng = peer_rng(index ^ 0x10000000u);
 
@@ -464,7 +464,7 @@ struct CampaignEngine::Impl {
     // routing needs us again; after their own trim likewise (§IV-A — this
     // is what turns low watermarks into high connection churn).
     const RemotePeer& peer = population.peers()[meta.peer];
-    const CategoryParams& params = default_params(peer.category);
+    const CategoryParams& params = config.population.params(peer.category);
     if (!params.reconnect_after_trim) return;
     if (connection.reason != p2p::CloseReason::kLocalTrim &&
         connection.reason != p2p::CloseReason::kRemoteTrim) {
@@ -627,7 +627,7 @@ struct CampaignEngine::Impl {
                 std::find(peer.protocols.begin(), peer.protocols.end(), kad_protocol) !=
                 peer.protocols.end();
             if (!announces_kad) continue;
-            const CategoryParams& params = default_params(peer.category);
+            const CategoryParams& params = config.population.params(peer.category);
             const PeerState& state = peer_states[peer.index];
             if (state.online) {
               if (prng.bernoulli(params.crawl_visibility)) {

@@ -12,6 +12,12 @@
 // (crawl snapshots as they happen, per-vantage datasets at the end).  The
 // monolithic `CampaignResult` of the original API is rebuilt by
 // `CampaignResultSink`, which `run()` uses as a compatibility adapter.
+//
+// Configs come from C++ directly or from a declarative JSON scenario:
+// `scenario::ScenarioSpec::to_campaign_config()` (scenario_spec.hpp) is
+// how the `ipfs_sim` CLI assembles engines from `scenarios/*.json` files,
+// and `runtime::ParallelTrialRunner` fans seed sweeps of one config across
+// cores.
 #pragma once
 
 #include <expected>

@@ -1,81 +1,23 @@
 #include "scenario/period.hpp"
 
+#include "scenario/scenario_spec.hpp"
+
 namespace ipfs::scenario {
 
-using common::kDay;
-using common::kHour;
+// The period data lives in the builtin scenario catalogue
+// (scenario_spec.cpp) so the compiled presets and the checked-in
+// scenarios/*.json files share one source of truth; these accessors are
+// compatibility wrappers.
 
-PeriodSpec PeriodSpec::P0() {
-  PeriodSpec spec;
-  spec.name = "P0";
-  spec.dates = "2021-12-03 - 2021-12-06";
-  spec.duration = 3 * kDay;
-  spec.go_low_water = 600;
-  spec.go_high_water = 900;
-  spec.hydra_heads = 3;
-  spec.hydra_low_water = 1200;
-  spec.hydra_high_water = 1800;
-  return spec;
-}
-
-PeriodSpec PeriodSpec::P1() {
-  PeriodSpec spec;
-  spec.name = "P1";
-  spec.dates = "2021-12-09 - 2021-12-10";
-  spec.duration = 1 * kDay;
-  spec.go_low_water = 2000;
-  spec.go_high_water = 4000;
-  spec.hydra_heads = 2;
-  spec.hydra_low_water = 2000;
-  spec.hydra_high_water = 4000;
-  return spec;
-}
-
-PeriodSpec PeriodSpec::P2() {
-  PeriodSpec spec;
-  spec.name = "P2";
-  spec.dates = "2021-12-13 - 2021-12-14";
-  spec.duration = 1 * kDay;
-  spec.go_low_water = 18000;
-  spec.go_high_water = 20000;
-  spec.hydra_heads = 2;
-  spec.hydra_low_water = 18000;
-  spec.hydra_high_water = 20000;
-  return spec;
-}
-
-PeriodSpec PeriodSpec::P3() {
-  PeriodSpec spec;
-  spec.name = "P3";
-  spec.dates = "2022-02-16 - 2022-02-17";
-  spec.duration = 1 * kDay;
-  spec.go_ipfs_mode = dht::Mode::kClient;
-  spec.go_low_water = 18000;
-  spec.go_high_water = 20000;
-  spec.hydra_heads = 0;
-  return spec;
-}
-
-PeriodSpec PeriodSpec::P4() {
-  PeriodSpec spec;
-  spec.name = "P4";
-  spec.dates = "2021-12-10 - 2021-12-13";
-  spec.duration = 3 * kDay;
-  spec.go_low_water = 18000;
-  spec.go_high_water = 20000;
-  spec.hydra_heads = 0;
-  return spec;
-}
-
+// .value() turns a renamed/removed builtin into a loud
+// std::bad_optional_access instead of undefined behaviour.
+PeriodSpec PeriodSpec::P0() { return ScenarioSpec::builtin("p0").value().period; }
+PeriodSpec PeriodSpec::P1() { return ScenarioSpec::builtin("p1").value().period; }
+PeriodSpec PeriodSpec::P2() { return ScenarioSpec::builtin("p2").value().period; }
+PeriodSpec PeriodSpec::P3() { return ScenarioSpec::builtin("p3").value().period; }
+PeriodSpec PeriodSpec::P4() { return ScenarioSpec::builtin("p4").value().period; }
 PeriodSpec PeriodSpec::Long14d() {
-  PeriodSpec spec;
-  spec.name = "LONG14D";
-  spec.dates = "2022-03-29 - 2022-04-12";
-  spec.duration = 14 * kDay;
-  spec.go_low_water = 18000;
-  spec.go_high_water = 20000;
-  spec.hydra_heads = 0;
-  return spec;
+  return ScenarioSpec::builtin("long14d").value().period;
 }
 
 std::vector<PeriodSpec> PeriodSpec::table1() {

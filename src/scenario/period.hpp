@@ -1,4 +1,9 @@
-// Measurement-period presets (paper Table I).
+// Measurement-period parameters and the paper's Table I presets.
+//
+// The presets here are thin wrappers over `scenario::ScenarioSpec`
+// builtins (scenario_spec.hpp) — the spec layer is the single source of
+// truth, and the same periods ship as editable `scenarios/*.json` files
+// runnable via the `ipfs_sim` CLI (`ipfs_sim run scenarios/p4.json`).
 //
 //   Period  Dates                    Low   High  go-ipfs  Hydra heads
 //   P0      2021-12-03 – 2021-12-06  600   900   Server   3 (1.2k/1.8k)
@@ -32,6 +37,8 @@ struct PeriodSpec {
   int hydra_heads = 0;  ///< 0 = hydra absent
   int hydra_low_water = 1200;
   int hydra_high_water = 1800;
+
+  [[nodiscard]] bool operator==(const PeriodSpec&) const = default;
 
   [[nodiscard]] static PeriodSpec P0();
   [[nodiscard]] static PeriodSpec P1();

@@ -46,7 +46,7 @@ RemotePeer& Population::emplace_peer(Category category, common::Rng& rng) {
 
 void Population::assign_one_shot_window(RemotePeer& peer, common::SimDuration duration,
                                         common::Rng& rng) {
-  const CategoryParams& params = default_params(peer.category);
+  const CategoryParams& params = spec_.params(peer.category);
   peer.session_start =
       static_cast<common::SimTime>(rng.uniform(0.0, static_cast<double>(duration)));
   common::SimDuration length =

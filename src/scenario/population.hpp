@@ -1,6 +1,11 @@
 // Population builder: materialises the synthetic peer population described
 // by a `PopulationSpec` (identities, IPs, agents, protocol sets, session
 // windows) for a measurement period of a given duration.
+//
+// Behaviour is read through `PopulationSpec::params`, so per-category
+// overrides — whether set in C++ or parsed from a scenario file by
+// `scenario::ScenarioSpec` — reshape the materialised population without
+// code changes.
 #pragma once
 
 #include <vector>

@@ -29,6 +29,31 @@ std::string_view to_string(Category category) noexcept {
   return "?";
 }
 
+std::optional<Category> category_from_string(std::string_view name) noexcept {
+  for (std::size_t i = 0; i < kCategoryCount; ++i) {
+    const auto category = static_cast<Category>(i);
+    if (to_string(category) == name) return category;
+  }
+  return std::nullopt;
+}
+
+std::string_view to_string(SessionKind kind) noexcept {
+  switch (kind) {
+    case SessionKind::kAlwaysOn: return "always-on";
+    case SessionKind::kRecurring: return "recurring";
+    case SessionKind::kOneShot: return "one-shot";
+  }
+  return "?";
+}
+
+std::optional<SessionKind> session_kind_from_string(std::string_view name) noexcept {
+  for (const SessionKind kind :
+       {SessionKind::kAlwaysOn, SessionKind::kRecurring, SessionKind::kOneShot}) {
+    if (to_string(kind) == name) return kind;
+  }
+  return std::nullopt;
+}
+
 const CategoryParams& default_params(Category category) {
   // Calibration notes (all targets from the paper; see header comment):
   //  - retention means set so that P4-style runs (no local trim) yield
@@ -179,7 +204,8 @@ const CategoryParams& default_params(Category category) {
 }
 
 const CategoryParams& PopulationSpec::params(Category category) const {
-  return default_params(category);
+  const auto& overridden = overrides[static_cast<std::size_t>(category)];
+  return overridden ? *overridden : default_params(category);
 }
 
 namespace {

@@ -9,9 +9,16 @@
 //   - session/contact    → Table II churn magnitudes and Fig. 7 CDF shapes
 // The builder produces concrete `RemotePeer`s; scenario::CampaignEngine
 // animates them against the vantage nodes.
+//
+// Populations are configured two ways: directly in C++ (the calibrated
+// defaults below plus per-category `overrides`), or declaratively through a
+// `scenario::ScenarioSpec` JSON file run by the `ipfs_sim` CLI — see
+// docs/SCENARIOS.md for the schema.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -40,6 +47,9 @@ enum class Category : std::uint8_t {
 };
 
 [[nodiscard]] std::string_view to_string(Category category) noexcept;
+/// Inverse of `to_string`; nullopt for unknown names (spec validation).
+[[nodiscard]] std::optional<Category> category_from_string(
+    std::string_view name) noexcept;
 inline constexpr std::size_t kCategoryCount = 11;
 
 /// How a peer's sessions recur.
@@ -48,6 +58,10 @@ enum class SessionKind : std::uint8_t {
   kRecurring,  ///< alternating online/offline periods
   kOneShot,    ///< single session at a random time, then gone
 };
+
+[[nodiscard]] std::string_view to_string(SessionKind kind) noexcept;
+[[nodiscard]] std::optional<SessionKind> session_kind_from_string(
+    std::string_view name) noexcept;
 
 /// Per-category behaviour parameters.
 struct CategoryParams {
@@ -72,6 +86,8 @@ struct CategoryParams {
   /// Fraction of this category reachable by an active crawler when online
   /// (NAT'd servers hide from crawls; §III-C).
   double crawl_visibility = 0.92;
+
+  [[nodiscard]] bool operator==(const CategoryParams&) const = default;
 };
 
 /// A fully materialised remote peer.
@@ -114,12 +130,19 @@ struct PopulationCounts {
   std::uint32_t nat_groups = 2500;
   std::uint32_t nat_group_min = 2;
   std::uint32_t nat_group_max = 8;
+
+  [[nodiscard]] bool operator==(const PopulationCounts&) const = default;
 };
 
 /// The full specification: counts + behaviour + metadata tables.
 struct PopulationSpec {
   PopulationCounts counts;
   double scale = 1.0;  ///< scales every count (tests use small scales)
+
+  /// Per-category behaviour overrides; unset slots use `default_params`.
+  /// This is how declarative scenarios reshape session/contact
+  /// distributions (e.g. the diurnal weekend workload) without recompiling.
+  std::array<std::optional<CategoryParams>, kCategoryCount> overrides{};
 
   [[nodiscard]] static PopulationSpec paper_scale() { return {}; }
   [[nodiscard]] static PopulationSpec test_scale(double scale_factor) {
@@ -128,7 +151,16 @@ struct PopulationSpec {
     return spec;
   }
 
+  /// The behaviour of `category` under this spec: the override when one is
+  /// set, the calibrated default otherwise.  Population and CampaignEngine
+  /// read all behaviour through this accessor.
   [[nodiscard]] const CategoryParams& params(Category category) const;
+
+  void set_override(Category category, CategoryParams params) {
+    overrides[static_cast<std::size_t>(category)] = params;
+  }
+
+  [[nodiscard]] bool operator==(const PopulationSpec&) const = default;
 };
 
 /// Behaviour table (shared by all specs; see the calibration notes above).

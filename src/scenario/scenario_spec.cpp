@@ -1,0 +1,874 @@
+#include "scenario/scenario_spec.hpp"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace ipfs::scenario {
+
+using common::JsonValue;
+using common::JsonWriter;
+using common::kDay;
+using common::kHour;
+using common::kMinute;
+using common::kSecond;
+using common::SimDuration;
+
+namespace {
+
+/// Parse-stage error: nullopt means the extraction succeeded.
+using ParseError = std::optional<std::string>;
+
+std::string join(const std::string& path, std::string_view key) {
+  return path.empty() ? std::string(key) : path + "." + std::string(key);
+}
+
+ParseError expect_object(const JsonValue& value, const std::string& path) {
+  if (value.is_object()) return std::nullopt;
+  return path + ": expected an object, got " + std::string(value.type_name());
+}
+
+/// Strict schemas: any member not in `allowed` is an error, so typos fail
+/// `ipfs_sim validate` instead of being silently ignored.
+ParseError check_keys(const JsonValue& value, const std::string& path,
+                      std::initializer_list<std::string_view> allowed) {
+  for (const JsonValue::Member& member : value.as_object()) {
+    bool known = false;
+    for (const std::string_view key : allowed) {
+      if (member.first == key) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) return path + ": unknown field '" + member.first + "'";
+  }
+  return std::nullopt;
+}
+
+ParseError get_bool(const JsonValue& object, std::string_view key,
+                    const std::string& path, bool& out) {
+  const JsonValue* value = object.find(key);
+  if (value == nullptr) return std::nullopt;
+  if (!value->is_bool()) {
+    return join(path, key) + ": expected true or false";
+  }
+  out = value->as_bool();
+  return std::nullopt;
+}
+
+ParseError get_double(const JsonValue& object, std::string_view key,
+                      const std::string& path, double& out) {
+  const JsonValue* value = object.find(key);
+  if (value == nullptr) return std::nullopt;
+  if (!value->is_number()) return join(path, key) + ": expected a number";
+  out = value->as_double();
+  return std::nullopt;
+}
+
+ParseError get_string(const JsonValue& object, std::string_view key,
+                      const std::string& path, std::string& out) {
+  const JsonValue* value = object.find(key);
+  if (value == nullptr) return std::nullopt;
+  if (!value->is_string()) return join(path, key) + ": expected a string";
+  out = value->as_string();
+  return std::nullopt;
+}
+
+ParseError get_u64(const JsonValue& object, std::string_view key,
+                   const std::string& path, std::uint64_t& out) {
+  const JsonValue* value = object.find(key);
+  if (value == nullptr) return std::nullopt;
+  const auto parsed = value->as_uint64();
+  if (!parsed) return join(path, key) + ": expected a non-negative integer";
+  out = *parsed;
+  return std::nullopt;
+}
+
+ParseError get_u32(const JsonValue& object, std::string_view key,
+                   const std::string& path, std::uint32_t& out) {
+  const JsonValue* value = object.find(key);
+  if (value == nullptr) return std::nullopt;
+  const auto parsed = value->as_uint64();
+  if (!parsed || *parsed > 0xffffffffULL) {
+    return join(path, key) + ": expected an integer in [0, 2^32)";
+  }
+  out = static_cast<std::uint32_t>(*parsed);
+  return std::nullopt;
+}
+
+ParseError get_int(const JsonValue& object, std::string_view key,
+                   const std::string& path, int& out) {
+  const JsonValue* value = object.find(key);
+  if (value == nullptr) return std::nullopt;
+  const auto parsed = value->as_int64();
+  if (!parsed || *parsed < std::numeric_limits<int>::min() ||
+      *parsed > std::numeric_limits<int>::max()) {
+    return join(path, key) + ": expected an integer";
+  }
+  out = static_cast<int>(*parsed);
+  return std::nullopt;
+}
+
+/// Durations are integer milliseconds (the library's SimTime unit), so
+/// specs round-trip without floating-point drift.
+ParseError get_duration_ms(const JsonValue& object, std::string_view key,
+                           const std::string& path, SimDuration& out) {
+  const JsonValue* value = object.find(key);
+  if (value == nullptr) return std::nullopt;
+  const auto parsed = value->as_int64();
+  if (!parsed) {
+    return join(path, key) + ": expected an integer number of milliseconds";
+  }
+  out = *parsed;
+  return std::nullopt;
+}
+
+// ---- section parsers --------------------------------------------------------
+
+ParseError parse_go_ipfs(const JsonValue& value, const std::string& path,
+                         PeriodSpec& period) {
+  if (auto error = expect_object(value, path)) return error;
+  if (auto error = check_keys(value, path,
+                              {"present", "mode", "low_water", "high_water"})) {
+    return error;
+  }
+  if (auto error = get_bool(value, "present", path, period.go_ipfs_present)) {
+    return error;
+  }
+  std::string mode;
+  if (auto error = get_string(value, "mode", path, mode)) return error;
+  if (!mode.empty()) {
+    if (mode == "server") {
+      period.go_ipfs_mode = dht::Mode::kServer;
+    } else if (mode == "client") {
+      period.go_ipfs_mode = dht::Mode::kClient;
+    } else {
+      return join(path, "mode") + ": expected \"server\" or \"client\"";
+    }
+  }
+  if (auto error = get_int(value, "low_water", path, period.go_low_water)) {
+    return error;
+  }
+  if (auto error = get_int(value, "high_water", path, period.go_high_water)) {
+    return error;
+  }
+  return std::nullopt;
+}
+
+ParseError parse_hydra(const JsonValue& value, const std::string& path,
+                       PeriodSpec& period) {
+  if (auto error = expect_object(value, path)) return error;
+  if (auto error = check_keys(value, path, {"heads", "low_water", "high_water"})) {
+    return error;
+  }
+  if (auto error = get_int(value, "heads", path, period.hydra_heads)) return error;
+  if (auto error = get_int(value, "low_water", path, period.hydra_low_water)) {
+    return error;
+  }
+  if (auto error = get_int(value, "high_water", path, period.hydra_high_water)) {
+    return error;
+  }
+  return std::nullopt;
+}
+
+ParseError parse_period(const JsonValue& value, const std::string& path,
+                        PeriodSpec& period) {
+  if (auto error = expect_object(value, path)) return error;
+  if (auto error = check_keys(value, path,
+                              {"name", "dates", "duration_ms", "go_ipfs", "hydra"})) {
+    return error;
+  }
+  if (auto error = get_string(value, "name", path, period.name)) return error;
+  if (auto error = get_string(value, "dates", path, period.dates)) return error;
+  if (auto error = get_duration_ms(value, "duration_ms", path, period.duration)) {
+    return error;
+  }
+  if (const JsonValue* go = value.find("go_ipfs")) {
+    if (auto error = parse_go_ipfs(*go, join(path, "go_ipfs"), period)) return error;
+  }
+  if (const JsonValue* hydra = value.find("hydra")) {
+    if (auto error = parse_hydra(*hydra, join(path, "hydra"), period)) return error;
+  }
+  return std::nullopt;
+}
+
+ParseError parse_counts(const JsonValue& value, const std::string& path,
+                        PopulationCounts& counts) {
+  if (auto error = expect_object(value, path)) return error;
+  if (auto error = check_keys(
+          value, path,
+          {"hydra_heads", "core_servers", "core_clients", "normal_users",
+           "light_servers", "disguised_storm", "light_clients", "crawlers",
+           "one_time_per_day", "ephemeral_per_day", "rotating_pids_per_day",
+           "ethereum_nodes", "nat_groups", "nat_group_min", "nat_group_max"})) {
+    return error;
+  }
+  if (auto e = get_u32(value, "hydra_heads", path, counts.hydra_heads)) return e;
+  if (auto e = get_u32(value, "core_servers", path, counts.core_servers)) return e;
+  if (auto e = get_u32(value, "core_clients", path, counts.core_clients)) return e;
+  if (auto e = get_u32(value, "normal_users", path, counts.normal_users)) return e;
+  if (auto e = get_u32(value, "light_servers", path, counts.light_servers)) return e;
+  if (auto e = get_u32(value, "disguised_storm", path, counts.disguised_storm)) {
+    return e;
+  }
+  if (auto e = get_u32(value, "light_clients", path, counts.light_clients)) return e;
+  if (auto e = get_u32(value, "crawlers", path, counts.crawlers)) return e;
+  if (auto e = get_u32(value, "one_time_per_day", path, counts.one_time_per_day)) {
+    return e;
+  }
+  if (auto e = get_u32(value, "ephemeral_per_day", path, counts.ephemeral_per_day)) {
+    return e;
+  }
+  if (auto e = get_u32(value, "rotating_pids_per_day", path,
+                       counts.rotating_pids_per_day)) {
+    return e;
+  }
+  if (auto e = get_u32(value, "ethereum_nodes", path, counts.ethereum_nodes)) {
+    return e;
+  }
+  if (auto e = get_u32(value, "nat_groups", path, counts.nat_groups)) return e;
+  if (auto e = get_u32(value, "nat_group_min", path, counts.nat_group_min)) return e;
+  if (auto e = get_u32(value, "nat_group_max", path, counts.nat_group_max)) return e;
+  return std::nullopt;
+}
+
+ParseError parse_category_params(const JsonValue& value, const std::string& path,
+                                 Category category, CategoryParams& params) {
+  if (auto error = expect_object(value, path)) return error;
+  if (auto error = check_keys(
+          value, path,
+          {"session", "mean_session_ms", "mean_gap_ms", "dht_server",
+           "maintain_probability", "retention_mean_ms", "queries_per_hour",
+           "query_duration_median_ms", "reconnect_after_trim",
+           "reconnect_backoff_mean_ms", "crawl_visibility"})) {
+    return error;
+  }
+  params = default_params(category);  // absent fields keep the calibrated value
+  std::string session;
+  if (auto error = get_string(value, "session", path, session)) return error;
+  if (!session.empty()) {
+    const auto kind = session_kind_from_string(session);
+    if (!kind) {
+      return join(path, "session") +
+             ": expected \"always-on\", \"recurring\" or \"one-shot\"";
+    }
+    params.session = *kind;
+  }
+  if (auto e = get_duration_ms(value, "mean_session_ms", path, params.mean_session)) {
+    return e;
+  }
+  if (auto e = get_duration_ms(value, "mean_gap_ms", path, params.mean_gap)) return e;
+  if (auto e = get_bool(value, "dht_server", path, params.dht_server)) return e;
+  if (auto e = get_double(value, "maintain_probability", path,
+                          params.maintain_probability)) {
+    return e;
+  }
+  if (auto e = get_duration_ms(value, "retention_mean_ms", path,
+                               params.retention_mean)) {
+    return e;
+  }
+  if (auto e = get_double(value, "queries_per_hour", path, params.queries_per_hour)) {
+    return e;
+  }
+  if (auto e = get_duration_ms(value, "query_duration_median_ms", path,
+                               params.query_duration_median)) {
+    return e;
+  }
+  if (auto e = get_bool(value, "reconnect_after_trim", path,
+                        params.reconnect_after_trim)) {
+    return e;
+  }
+  if (auto e = get_duration_ms(value, "reconnect_backoff_mean_ms", path,
+                               params.reconnect_backoff_mean)) {
+    return e;
+  }
+  if (auto e = get_double(value, "crawl_visibility", path, params.crawl_visibility)) {
+    return e;
+  }
+  return std::nullopt;
+}
+
+ParseError parse_population(const JsonValue& value, const std::string& path,
+                            PopulationSpec& population) {
+  if (auto error = expect_object(value, path)) return error;
+  if (auto error = check_keys(value, path, {"scale", "counts", "categories"})) {
+    return error;
+  }
+  if (auto error = get_double(value, "scale", path, population.scale)) return error;
+  if (const JsonValue* counts = value.find("counts")) {
+    if (auto error = parse_counts(*counts, join(path, "counts"), population.counts)) {
+      return error;
+    }
+  }
+  if (const JsonValue* categories = value.find("categories")) {
+    const std::string categories_path = join(path, "categories");
+    if (auto error = expect_object(*categories, categories_path)) return error;
+    for (const JsonValue::Member& member : categories->as_object()) {
+      const auto category = category_from_string(member.first);
+      if (!category) {
+        return categories_path + ": unknown category name '" + member.first + "'";
+      }
+      CategoryParams params;
+      if (auto error = parse_category_params(
+              member.second, join(categories_path, member.first), *category,
+              params)) {
+        return error;
+      }
+      params.category = *category;
+      population.set_override(*category, params);
+    }
+  }
+  return std::nullopt;
+}
+
+ParseError parse_campaign(const JsonValue& value, const std::string& path,
+                          CampaignSettings& campaign) {
+  if (auto error = expect_object(value, path)) return error;
+  if (auto error = check_keys(value, path,
+                              {"seed", "trials", "workers", "vantage_visibility",
+                               "crawler", "metadata_dynamics",
+                               "client_dials_per_hour"})) {
+    return error;
+  }
+  if (auto e = get_u64(value, "seed", path, campaign.seed)) return e;
+  if (auto e = get_u32(value, "trials", path, campaign.trials)) return e;
+  if (auto e = get_u32(value, "workers", path, campaign.workers)) return e;
+  if (auto e = get_double(value, "vantage_visibility", path,
+                          campaign.vantage_visibility)) {
+    return e;
+  }
+  if (const JsonValue* crawler = value.find("crawler")) {
+    const std::string crawler_path = join(path, "crawler");
+    if (auto error = expect_object(*crawler, crawler_path)) return error;
+    if (auto error = check_keys(*crawler, crawler_path, {"enabled", "interval_ms"})) {
+      return error;
+    }
+    if (auto e = get_bool(*crawler, "enabled", crawler_path,
+                          campaign.enable_crawler)) {
+      return e;
+    }
+    if (auto e = get_duration_ms(*crawler, "interval_ms", crawler_path,
+                                 campaign.crawl_interval)) {
+      return e;
+    }
+  }
+  if (auto e = get_bool(value, "metadata_dynamics", path,
+                        campaign.enable_metadata_dynamics)) {
+    return e;
+  }
+  if (auto e = get_double(value, "client_dials_per_hour", path,
+                          campaign.client_dials_per_hour)) {
+    return e;
+  }
+  return std::nullopt;
+}
+
+ParseError parse_output(const JsonValue& value, const std::string& path,
+                        OutputSettings& output) {
+  if (auto error = expect_object(value, path)) return error;
+  if (auto error = check_keys(value, path,
+                              {"pretty", "include_connections", "role_filter"})) {
+    return error;
+  }
+  if (auto e = get_bool(value, "pretty", path, output.pretty)) return e;
+  if (auto e = get_bool(value, "include_connections", path,
+                        output.include_connections)) {
+    return e;
+  }
+  if (const JsonValue* filter = value.find("role_filter")) {
+    if (filter->is_null()) {
+      output.role_filter = std::nullopt;
+    } else if (filter->is_string()) {
+      const auto role = measure::role_from_string(filter->as_string());
+      if (!role) {
+        return join(path, "role_filter") + ": unknown dataset role '" +
+               filter->as_string() + "'";
+      }
+      output.role_filter = role;
+    } else {
+      return join(path, "role_filter") + ": expected a string or null";
+    }
+  }
+  return std::nullopt;
+}
+
+// ---- validation helpers -----------------------------------------------------
+
+std::optional<std::string> validate_category(const CategoryParams& params,
+                                             Category category) {
+  const std::string prefix =
+      "population.categories." + std::string(to_string(category)) + ": ";
+  if (params.mean_session < 0) return prefix + "mean_session_ms must be >= 0";
+  if (params.mean_gap < 0) return prefix + "mean_gap_ms must be >= 0";
+  if (params.retention_mean < 0) return prefix + "retention_mean_ms must be >= 0";
+  if (params.query_duration_median < 0) {
+    return prefix + "query_duration_median_ms must be >= 0";
+  }
+  if (params.reconnect_backoff_mean < 0) {
+    return prefix + "reconnect_backoff_mean_ms must be >= 0";
+  }
+  if (params.maintain_probability < 0.0 || params.maintain_probability > 1.0) {
+    return prefix + "maintain_probability must be in [0, 1]";
+  }
+  if (params.crawl_visibility < 0.0 || params.crawl_visibility > 1.0) {
+    return prefix + "crawl_visibility must be in [0, 1]";
+  }
+  if (params.queries_per_hour < 0.0) return prefix + "queries_per_hour must be >= 0";
+  if (params.session == SessionKind::kRecurring && params.mean_session <= 0) {
+    return prefix + "recurring sessions need mean_session_ms > 0";
+  }
+  return std::nullopt;
+}
+
+// ---- builtin catalogue ------------------------------------------------------
+
+PeriodSpec period_p0() {
+  PeriodSpec spec;
+  spec.name = "P0";
+  spec.dates = "2021-12-03 - 2021-12-06";
+  spec.duration = 3 * kDay;
+  spec.go_low_water = 600;
+  spec.go_high_water = 900;
+  spec.hydra_heads = 3;
+  spec.hydra_low_water = 1200;
+  spec.hydra_high_water = 1800;
+  return spec;
+}
+
+PeriodSpec period_p1() {
+  PeriodSpec spec;
+  spec.name = "P1";
+  spec.dates = "2021-12-09 - 2021-12-10";
+  spec.duration = 1 * kDay;
+  spec.go_low_water = 2000;
+  spec.go_high_water = 4000;
+  spec.hydra_heads = 2;
+  spec.hydra_low_water = 2000;
+  spec.hydra_high_water = 4000;
+  return spec;
+}
+
+PeriodSpec period_p2() {
+  PeriodSpec spec;
+  spec.name = "P2";
+  spec.dates = "2021-12-13 - 2021-12-14";
+  spec.duration = 1 * kDay;
+  spec.go_low_water = 18000;
+  spec.go_high_water = 20000;
+  spec.hydra_heads = 2;
+  spec.hydra_low_water = 18000;
+  spec.hydra_high_water = 20000;
+  return spec;
+}
+
+PeriodSpec period_p3() {
+  PeriodSpec spec;
+  spec.name = "P3";
+  spec.dates = "2022-02-16 - 2022-02-17";
+  spec.duration = 1 * kDay;
+  spec.go_ipfs_mode = dht::Mode::kClient;
+  spec.go_low_water = 18000;
+  spec.go_high_water = 20000;
+  spec.hydra_heads = 0;
+  return spec;
+}
+
+PeriodSpec period_p4() {
+  PeriodSpec spec;
+  spec.name = "P4";
+  spec.dates = "2021-12-10 - 2021-12-13";
+  spec.duration = 3 * kDay;
+  spec.go_low_water = 18000;
+  spec.go_high_water = 20000;
+  spec.hydra_heads = 0;
+  return spec;
+}
+
+PeriodSpec period_long14d() {
+  PeriodSpec spec;
+  spec.name = "LONG14D";
+  spec.dates = "2022-03-29 - 2022-04-12";
+  spec.duration = 14 * kDay;
+  spec.go_low_water = 18000;
+  spec.go_high_water = 20000;
+  spec.hydra_heads = 0;
+  return spec;
+}
+
+ScenarioSpec make_builtin(std::string name, std::string description,
+                          PeriodSpec period) {
+  ScenarioSpec spec;
+  spec.name = std::move(name);
+  spec.description = std::move(description);
+  spec.period = std::move(period);
+  spec.population = PopulationSpec::paper_scale();
+  return spec;
+}
+
+/// NAT-heavy population: most of the user base sits behind shared
+/// household/small-cloud IPs and hides from active crawls — the §V-A
+/// IP-grouping stress test.
+ScenarioSpec builtin_nat_heavy() {
+  PeriodSpec period;
+  period.name = "NAT-HEAVY";
+  period.dates = "";
+  period.duration = 1 * kDay;
+  period.go_low_water = 18000;
+  period.go_high_water = 20000;
+  period.hydra_heads = 0;
+  ScenarioSpec spec = make_builtin(
+      "nat-heavy",
+      "NAT-heavy population: 9k shared-IP groups of up to 24 peers and "
+      "sharply reduced crawl visibility; stresses the Sec. V-A IP grouping "
+      "and widens the passive-vs-crawl gap of Fig. 2",
+      period);
+  spec.population.counts.nat_groups = 9000;
+  spec.population.counts.nat_group_max = 24;
+  spec.population.counts.core_clients = 14000;
+  spec.population.counts.light_clients = 12000;
+  spec.population.counts.one_time_per_day = 9000;
+  CategoryParams normal = default_params(Category::kNormalUser);
+  normal.crawl_visibility = 0.45;
+  spec.population.set_override(Category::kNormalUser, normal);
+  CategoryParams light_server = default_params(Category::kLightServer);
+  light_server.crawl_visibility = 0.35;
+  spec.population.set_override(Category::kLightServer, light_server);
+  return spec;
+}
+
+/// Crawler storm: an order of magnitude more crawler agents, each sweeping
+/// much faster — the short-connection regime of §IV-A pushed to the limit.
+ScenarioSpec builtin_crawler_storm() {
+  PeriodSpec period;
+  period.name = "CRAWLER-STORM";
+  period.dates = "";
+  period.duration = 12 * kHour;
+  period.go_low_water = 18000;
+  period.go_high_water = 20000;
+  period.hydra_heads = 0;
+  ScenarioSpec spec = make_builtin(
+      "crawler-storm",
+      "Crawler storm: ~10x the crawler population sweeping at 30 visits/h "
+      "with 20 s median contacts; floods the vantage with the short "
+      "query-connection regime of Sec. IV-A",
+      period);
+  spec.population.counts.crawlers = 5000;
+  CategoryParams crawler = default_params(Category::kCrawler);
+  crawler.queries_per_hour = 30.0;
+  crawler.query_duration_median = 20 * kSecond;
+  spec.population.set_override(Category::kCrawler, crawler);
+  return spec;
+}
+
+/// Weekend diurnal pattern: the standing user base switches to recurring
+/// day-length sessions with long overnight gaps.
+ScenarioSpec builtin_weekend_diurnal() {
+  PeriodSpec period;
+  period.name = "WEEKEND";
+  period.dates = "";
+  period.duration = 2 * kDay;
+  period.go_low_water = 18000;
+  period.go_high_water = 20000;
+  period.hydra_heads = 0;
+  ScenarioSpec spec = make_builtin(
+      "weekend-diurnal",
+      "Diurnal weekend pattern over 2 days: normal users and light clients "
+      "run recurring ~7 h / ~4 h sessions with long overnight gaps, "
+      "shifting the Fig. 7 session-CDF mass toward daily cycles",
+      period);
+  CategoryParams normal = default_params(Category::kNormalUser);
+  normal.session = SessionKind::kRecurring;
+  normal.mean_session = 7 * kHour;
+  normal.mean_gap = 17 * kHour;
+  spec.population.set_override(Category::kNormalUser, normal);
+  CategoryParams light_client = default_params(Category::kLightClient);
+  light_client.mean_session = 4 * kHour;
+  light_client.mean_gap = 20 * kHour;
+  spec.population.set_override(Category::kLightClient, light_client);
+  return spec;
+}
+
+}  // namespace
+
+// ---- (de)serialisation ------------------------------------------------------
+
+std::expected<ScenarioSpec, std::string> ScenarioSpec::from_json(
+    std::string_view text) {
+  auto document = JsonValue::parse(text);
+  if (!document) return std::unexpected(std::move(document).error());
+  const JsonValue& root = *document;
+  if (auto error = expect_object(root, "document")) {
+    return std::unexpected(std::move(*error));
+  }
+  if (auto error = check_keys(root, "document",
+                              {"name", "description", "period", "population",
+                               "campaign", "output"})) {
+    return std::unexpected(std::move(*error));
+  }
+
+  ScenarioSpec spec;
+  if (auto error = get_string(root, "name", "", spec.name)) {
+    return std::unexpected(std::move(*error));
+  }
+  if (auto error = get_string(root, "description", "", spec.description)) {
+    return std::unexpected(std::move(*error));
+  }
+  if (const JsonValue* period = root.find("period")) {
+    if (auto error = parse_period(*period, "period", spec.period)) {
+      return std::unexpected(std::move(*error));
+    }
+  }
+  if (const JsonValue* population = root.find("population")) {
+    if (auto error = parse_population(*population, "population", spec.population)) {
+      return std::unexpected(std::move(*error));
+    }
+  }
+  if (const JsonValue* campaign = root.find("campaign")) {
+    if (auto error = parse_campaign(*campaign, "campaign", spec.campaign)) {
+      return std::unexpected(std::move(*error));
+    }
+  }
+  if (const JsonValue* output = root.find("output")) {
+    if (auto error = parse_output(*output, "output", spec.output)) {
+      return std::unexpected(std::move(*error));
+    }
+  }
+  if (auto error = validate(spec)) return std::unexpected(std::move(*error));
+  return spec;
+}
+
+std::expected<ScenarioSpec, std::string> ScenarioSpec::from_file(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::unexpected(path + ": cannot open file");
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  auto spec = from_json(contents.str());
+  if (!spec) return std::unexpected(path + ": " + std::move(spec).error());
+  return spec;
+}
+
+void ScenarioSpec::to_json(JsonWriter& writer) const {
+  writer.begin_object();
+  writer.field("name", name);
+  writer.field("description", description);
+
+  writer.key("period");
+  writer.begin_object();
+  writer.field("name", period.name);
+  writer.field("dates", period.dates);
+  writer.field("duration_ms", static_cast<std::int64_t>(period.duration));
+  writer.key("go_ipfs");
+  writer.begin_object();
+  writer.field("present", period.go_ipfs_present);
+  writer.field("mode",
+               period.go_ipfs_mode == dht::Mode::kServer ? "server" : "client");
+  writer.field("low_water", period.go_low_water);
+  writer.field("high_water", period.go_high_water);
+  writer.end_object();
+  writer.key("hydra");
+  writer.begin_object();
+  writer.field("heads", period.hydra_heads);
+  writer.field("low_water", period.hydra_low_water);
+  writer.field("high_water", period.hydra_high_water);
+  writer.end_object();
+  writer.end_object();
+
+  writer.key("population");
+  writer.begin_object();
+  writer.field("scale", population.scale);
+  writer.key("counts");
+  writer.begin_object();
+  const PopulationCounts& counts = population.counts;
+  writer.field("hydra_heads", static_cast<std::uint64_t>(counts.hydra_heads));
+  writer.field("core_servers", static_cast<std::uint64_t>(counts.core_servers));
+  writer.field("core_clients", static_cast<std::uint64_t>(counts.core_clients));
+  writer.field("normal_users", static_cast<std::uint64_t>(counts.normal_users));
+  writer.field("light_servers", static_cast<std::uint64_t>(counts.light_servers));
+  writer.field("disguised_storm",
+               static_cast<std::uint64_t>(counts.disguised_storm));
+  writer.field("light_clients", static_cast<std::uint64_t>(counts.light_clients));
+  writer.field("crawlers", static_cast<std::uint64_t>(counts.crawlers));
+  writer.field("one_time_per_day",
+               static_cast<std::uint64_t>(counts.one_time_per_day));
+  writer.field("ephemeral_per_day",
+               static_cast<std::uint64_t>(counts.ephemeral_per_day));
+  writer.field("rotating_pids_per_day",
+               static_cast<std::uint64_t>(counts.rotating_pids_per_day));
+  writer.field("ethereum_nodes", static_cast<std::uint64_t>(counts.ethereum_nodes));
+  writer.field("nat_groups", static_cast<std::uint64_t>(counts.nat_groups));
+  writer.field("nat_group_min", static_cast<std::uint64_t>(counts.nat_group_min));
+  writer.field("nat_group_max", static_cast<std::uint64_t>(counts.nat_group_max));
+  writer.end_object();
+  writer.key("categories");
+  writer.begin_object();
+  for (std::size_t i = 0; i < kCategoryCount; ++i) {
+    const auto& overridden = population.overrides[i];
+    if (!overridden) continue;
+    const CategoryParams& params = *overridden;
+    writer.key(to_string(static_cast<Category>(i)));
+    writer.begin_object();
+    writer.field("session", to_string(params.session));
+    writer.field("mean_session_ms", static_cast<std::int64_t>(params.mean_session));
+    writer.field("mean_gap_ms", static_cast<std::int64_t>(params.mean_gap));
+    writer.field("dht_server", params.dht_server);
+    writer.field("maintain_probability", params.maintain_probability);
+    writer.field("retention_mean_ms",
+                 static_cast<std::int64_t>(params.retention_mean));
+    writer.field("queries_per_hour", params.queries_per_hour);
+    writer.field("query_duration_median_ms",
+                 static_cast<std::int64_t>(params.query_duration_median));
+    writer.field("reconnect_after_trim", params.reconnect_after_trim);
+    writer.field("reconnect_backoff_mean_ms",
+                 static_cast<std::int64_t>(params.reconnect_backoff_mean));
+    writer.field("crawl_visibility", params.crawl_visibility);
+    writer.end_object();
+  }
+  writer.end_object();
+  writer.end_object();
+
+  writer.key("campaign");
+  writer.begin_object();
+  writer.field("seed", campaign.seed);
+  writer.field("trials", static_cast<std::uint64_t>(campaign.trials));
+  writer.field("workers", static_cast<std::uint64_t>(campaign.workers));
+  writer.field("vantage_visibility", campaign.vantage_visibility);
+  writer.key("crawler");
+  writer.begin_object();
+  writer.field("enabled", campaign.enable_crawler);
+  writer.field("interval_ms", static_cast<std::int64_t>(campaign.crawl_interval));
+  writer.end_object();
+  writer.field("metadata_dynamics", campaign.enable_metadata_dynamics);
+  writer.field("client_dials_per_hour", campaign.client_dials_per_hour);
+  writer.end_object();
+
+  writer.key("output");
+  writer.begin_object();
+  writer.field("pretty", output.pretty);
+  writer.field("include_connections", output.include_connections);
+  writer.key("role_filter");
+  if (output.role_filter) {
+    writer.value(measure::to_string(*output.role_filter));
+  } else {
+    writer.null();
+  }
+  writer.end_object();
+
+  writer.end_object();
+}
+
+std::string ScenarioSpec::to_json_string() const {
+  std::ostringstream out;
+  JsonWriter writer(out, /*pretty=*/true);
+  to_json(writer);
+  out << "\n";
+  return out.str();
+}
+
+// ---- validation -------------------------------------------------------------
+
+std::optional<std::string> ScenarioSpec::validate(const ScenarioSpec& spec) {
+  if (spec.name.empty()) return "name must be non-empty";
+  if (spec.campaign.trials == 0) return "campaign.trials must be >= 1";
+  const PopulationCounts& counts = spec.population.counts;
+  if (counts.nat_group_min < 1) {
+    return "population.counts.nat_group_min must be >= 1";
+  }
+  if (counts.nat_group_max < counts.nat_group_min) {
+    return "population.counts: nat_group_max must be >= nat_group_min";
+  }
+  if (counts.disguised_storm > counts.light_servers) {
+    return "population.counts: disguised_storm cannot exceed light_servers";
+  }
+  for (std::size_t i = 0; i < kCategoryCount; ++i) {
+    const auto& overridden = spec.population.overrides[i];
+    if (!overridden) continue;
+    if (overridden->category != static_cast<Category>(i)) {
+      return "population.categories." +
+             std::string(to_string(static_cast<Category>(i))) +
+             ": override stored under the wrong category slot";
+    }
+    if (auto error = validate_category(*overridden, static_cast<Category>(i))) {
+      return error;
+    }
+  }
+  // Everything the engine itself would refuse (duration, watermarks,
+  // visibility, crawl interval, dial rate, scale).
+  return CampaignEngine::validate(spec.to_campaign_config());
+}
+
+// ---- execution --------------------------------------------------------------
+
+CampaignConfig ScenarioSpec::to_campaign_config() const {
+  CampaignConfig config;
+  config.period = period;
+  config.population = population;
+  config.seed = campaign.seed;
+  config.vantage_visibility = campaign.vantage_visibility;
+  config.enable_crawler = campaign.enable_crawler;
+  config.crawl_interval = campaign.crawl_interval;
+  config.enable_metadata_dynamics = campaign.enable_metadata_dynamics;
+  config.client_dials_per_hour = campaign.client_dials_per_hour;
+  return config;
+}
+
+std::vector<std::uint64_t> ScenarioSpec::trial_seeds() const {
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(campaign.trials);
+  for (std::uint32_t i = 0; i < campaign.trials; ++i) {
+    seeds.push_back(campaign.seed + i);
+  }
+  return seeds;
+}
+
+// ---- builtins ---------------------------------------------------------------
+
+const std::vector<ScenarioSpec>& ScenarioSpec::builtins() {
+  static const std::vector<ScenarioSpec> kBuiltins = [] {
+    std::vector<ScenarioSpec> all;
+    all.push_back(make_builtin(
+        "p0",
+        "Table I period P0: 3-day run, go-ipfs server vantage with 600/900 "
+        "watermarks plus 3 hydra heads at 1200/1800 (2021-12-03)",
+        period_p0()));
+    all.push_back(make_builtin(
+        "p1",
+        "Table I period P1: 1-day run, go-ipfs server at 2k/4k plus 2 hydra "
+        "heads (2021-12-09)",
+        period_p1()));
+    all.push_back(make_builtin(
+        "p2",
+        "Table I period P2: 1-day run, go-ipfs server at 18k/20k plus 2 "
+        "hydra heads (2021-12-13)",
+        period_p2()));
+    all.push_back(make_builtin(
+        "p3",
+        "Table I period P3: 1-day run, go-ipfs *client* vantage at 18k/20k, "
+        "no hydra (2022-02-16)",
+        period_p3()));
+    all.push_back(make_builtin(
+        "p4",
+        "Table I period P4: 3-day run, go-ipfs server at 18k/20k, no hydra "
+        "(2021-12-10) — the paper's primary churn dataset",
+        period_p4()));
+    all.push_back(make_builtin(
+        "long14d",
+        "The ~14-day PID-growth measurement behind Fig. 6 (2022-03-29 - "
+        "2022-04-12), go-ipfs server at 18k/20k",
+        period_long14d()));
+    all.push_back(builtin_nat_heavy());
+    all.push_back(builtin_crawler_storm());
+    all.push_back(builtin_weekend_diurnal());
+    return all;
+  }();
+  return kBuiltins;
+}
+
+std::optional<ScenarioSpec> ScenarioSpec::builtin(std::string_view name) {
+  for (const ScenarioSpec& spec : builtins()) {
+    if (spec.name == name) return spec;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ipfs::scenario

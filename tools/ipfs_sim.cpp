@@ -1,0 +1,421 @@
+// ipfs_sim — the declarative scenario driver (DESIGN.md §8).
+//
+// Runs measurement campaigns described by `scenario::ScenarioSpec` JSON
+// files (docs/SCENARIOS.md) without recompiling anything:
+//
+//   ipfs_sim list [DIR]                 builtin + on-disk scenarios
+//   ipfs_sim validate FILE...           parse + validate scenario files
+//   ipfs_sim run SCENARIO [options]     execute a scenario
+//   ipfs_sim export NAME|--all [opts]   write builtin specs as JSON files
+//   ipfs_sim selftest                   tiny runtime::TestbedBuilder check
+//
+// SCENARIO is a path to a .json file or the name of a builtin ("p4").
+// `run` options:
+//   --out FILE     write campaign datasets there (default: stdout)
+//   --workers N    worker threads for multi-trial sweeps (0 = hardware)
+//   --trials N     override the spec's trial count
+//   --seed S       override the spec's base seed
+//   --scale X      override the population scale (CI smoke runs use this)
+//   --quiet        suppress the progress summary on stderr
+//
+// Single-trial runs execute on a `scenario::CampaignEngine` directly;
+// multi-trial sweeps go through `runtime::ParallelTrialRunner`, whose
+// merged output is byte-identical to the sequential loop at any worker
+// count.
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "measure/sink.hpp"
+#include "runtime/parallel.hpp"
+#include "runtime/testbed.hpp"
+#include "scenario/campaign.hpp"
+#include "scenario/scenario_spec.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using ipfs::measure::JsonExportSink;
+using ipfs::measure::MeasurementSink;
+using ipfs::runtime::ParallelTrialRunner;
+using ipfs::runtime::TrialSpec;
+using ipfs::scenario::CampaignEngine;
+using ipfs::scenario::ScenarioSpec;
+
+int usage(std::ostream& out, int code) {
+  out << "usage: ipfs_sim <command> [args]\n"
+         "  list [DIR]               list builtin scenarios and *.json in DIR\n"
+         "                           (default ./scenarios when present)\n"
+         "  validate FILE...         parse + validate scenario files\n"
+         "  run SCENARIO [options]   run a scenario file or builtin name\n"
+         "      --out FILE --workers N --trials N --seed S --scale X --quiet\n"
+         "  export NAME|--all [--dir DIR | --out FILE]\n"
+         "                           write builtin spec(s) as JSON\n"
+         "  selftest                 run a tiny testbed experiment\n";
+  return code;
+}
+
+template <typename T>
+bool parse_number(const std::string& text, T& out) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc() && ptr == end;
+}
+
+bool parse_double(const std::string& text, double& out) {
+  try {
+    std::size_t consumed = 0;
+    out = std::stod(text, &consumed);
+    return consumed == text.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+/// A SCENARIO argument: an existing file path, else a builtin name.
+std::optional<ScenarioSpec> load_scenario(const std::string& ref,
+                                          std::string& error) {
+  if (fs::exists(ref)) {
+    auto spec = ScenarioSpec::from_file(ref);
+    if (!spec) {
+      error = spec.error();
+      return std::nullopt;
+    }
+    return *spec;
+  }
+  if (auto spec = ScenarioSpec::builtin(ref)) return spec;
+  error = ref + ": no such file and not a builtin scenario (see ipfs_sim list)";
+  return std::nullopt;
+}
+
+// ---- list -------------------------------------------------------------------
+
+int cmd_list(const std::vector<std::string>& args) {
+  std::cout << "builtin scenarios:\n";
+  for (const ScenarioSpec& spec : ScenarioSpec::builtins()) {
+    std::cout << "  " << spec.name << "\n      " << spec.description << "\n";
+  }
+  const std::string dir = args.empty() ? "scenarios" : args[0];
+  if (!fs::is_directory(dir)) {
+    if (!args.empty()) {
+      std::cerr << "ipfs_sim list: " << dir << " is not a directory\n";
+      return 1;
+    }
+    return 0;
+  }
+  std::vector<fs::path> files;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".json") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::cout << "\nscenario files in " << dir << "/:\n";
+  for (const fs::path& file : files) {
+    auto spec = ScenarioSpec::from_file(file.string());
+    if (spec) {
+      std::cout << "  " << file.string() << "  (" << spec->name << ")\n";
+    } else {
+      std::cout << "  " << file.string() << "  [invalid: " << spec.error() << "]\n";
+    }
+  }
+  return 0;
+}
+
+// ---- validate ---------------------------------------------------------------
+
+int cmd_validate(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::cerr << "ipfs_sim validate: no files given\n";
+    return 2;
+  }
+  int failures = 0;
+  for (const std::string& path : args) {
+    auto spec = ScenarioSpec::from_file(path);
+    if (spec) {
+      std::cout << "OK    " << path << "  (" << spec->name << ", "
+                << spec->campaign.trials
+                << (spec->campaign.trials == 1 ? " trial)" : " trials)") << "\n";
+    } else {
+      std::cout << "FAIL  " << spec.error() << "\n";
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+// ---- run --------------------------------------------------------------------
+
+/// Streams a short progress line per published event to stderr.
+class ProgressSink final : public MeasurementSink {
+ public:
+  void on_run_begin(const std::string& description) override {
+    std::cerr << "== " << description << "\n";
+  }
+  void on_crawl(const ipfs::measure::CrawlObservation& crawl) override {
+    ++crawls_;
+    (void)crawl;
+  }
+  void on_dataset(ipfs::measure::DatasetRole role,
+                  ipfs::measure::Dataset dataset) override {
+    std::cerr << "   dataset " << ipfs::measure::to_string(role) << " ("
+              << dataset.vantage << "): " << dataset.peer_count() << " peers, "
+              << dataset.connection_count() << " connections\n";
+  }
+  void on_run_end(const ipfs::measure::RunSummary& summary) override {
+    std::cerr << "   population " << summary.population_size << ", "
+              << summary.events_executed << " events, " << crawls_
+              << " crawl snapshots\n";
+    crawls_ = 0;
+  }
+
+ private:
+  std::size_t crawls_ = 0;
+};
+
+int cmd_run(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::cerr << "ipfs_sim run: missing SCENARIO argument\n";
+    return 2;
+  }
+  const std::string& ref = args[0];
+  std::optional<std::string> out_path;
+  std::optional<std::uint32_t> workers_override;
+  std::optional<std::uint32_t> trials_override;
+  std::optional<std::uint64_t> seed_override;
+  std::optional<double> scale_override;
+  bool quiet = false;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const bool has_value = i + 1 < args.size();
+    if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--out" && has_value) {
+      out_path = args[++i];
+    } else if (arg == "--workers" && has_value) {
+      std::uint32_t workers = 0;
+      if (!parse_number(args[++i], workers)) {
+        std::cerr << "ipfs_sim run: --workers expects an integer\n";
+        return 2;
+      }
+      workers_override = workers;
+    } else if (arg == "--trials" && has_value) {
+      std::uint32_t trials = 0;
+      if (!parse_number(args[++i], trials)) {
+        std::cerr << "ipfs_sim run: --trials expects an integer\n";
+        return 2;
+      }
+      trials_override = trials;
+    } else if (arg == "--seed" && has_value) {
+      std::uint64_t seed = 0;
+      if (!parse_number(args[++i], seed)) {
+        std::cerr << "ipfs_sim run: --seed expects an integer\n";
+        return 2;
+      }
+      seed_override = seed;
+    } else if (arg == "--scale" && has_value) {
+      double scale = 0.0;
+      if (!parse_double(args[++i], scale)) {
+        std::cerr << "ipfs_sim run: --scale expects a number\n";
+        return 2;
+      }
+      scale_override = scale;
+    } else {
+      std::cerr << "ipfs_sim run: unknown option '" << arg << "'\n";
+      return 2;
+    }
+  }
+
+  std::string error;
+  auto loaded = load_scenario(ref, error);
+  if (!loaded) {
+    std::cerr << "ipfs_sim run: " << error << "\n";
+    return 1;
+  }
+  ScenarioSpec spec = std::move(*loaded);
+  if (workers_override) spec.campaign.workers = *workers_override;
+  if (trials_override) spec.campaign.trials = *trials_override;
+  if (seed_override) spec.campaign.seed = *seed_override;
+  if (scale_override) spec.population.scale = *scale_override;
+  if (auto invalid = ScenarioSpec::validate(spec)) {
+    std::cerr << "ipfs_sim run: " << *invalid << "\n";
+    return 1;
+  }
+
+  std::ofstream file_out;
+  if (out_path) {
+    file_out.open(*out_path);
+    if (!file_out) {
+      std::cerr << "ipfs_sim run: cannot open " << *out_path << " for writing\n";
+      return 1;
+    }
+  }
+  std::ostream& data_out = out_path ? file_out : std::cout;
+
+  JsonExportSink export_sink(data_out, spec.output.export_options());
+  ProgressSink progress;
+  ipfs::measure::FanOutSink sink;
+  // FanOutSink copies datasets for all but the last sink: register the
+  // cheap progress reader first so the export sink receives the move.
+  if (!quiet) sink.add(progress);
+  sink.add(export_sink);
+
+  if (!quiet) {
+    std::cerr << "scenario " << spec.name << ": " << spec.campaign.trials
+              << (spec.campaign.trials == 1 ? " trial" : " trials") << ", scale "
+              << spec.population.scale << ", seed " << spec.campaign.seed << "\n";
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  if (spec.campaign.trials == 1) {
+    auto engine = CampaignEngine::create(spec.to_campaign_config());
+    if (!engine) {
+      std::cerr << "ipfs_sim run: " << engine.error() << "\n";
+      return 1;
+    }
+    engine->run(sink);
+  } else {
+    const auto seeds = spec.trial_seeds();
+    ParallelTrialRunner::Options options;
+    options.workers = spec.campaign.workers;
+    ParallelTrialRunner runner(options);
+    auto outcome = runner.run(
+        ParallelTrialRunner::seed_sweep(spec.to_campaign_config(), seeds), sink);
+    if (!outcome) {
+      std::cerr << "ipfs_sim run: " << outcome.error() << "\n";
+      return 1;
+    }
+  }
+  data_out.flush();
+  if (!data_out) {
+    std::cerr << "ipfs_sim run: error writing "
+              << (out_path ? *out_path : std::string("stdout")) << "\n";
+    return 1;
+  }
+  if (!quiet) {
+    const auto elapsed = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start);
+    std::cerr << "done in " << elapsed.count() << " s ("
+              << export_sink.exported_count() << " datasets exported";
+    if (out_path) std::cerr << " to " << *out_path;
+    std::cerr << ")\n";
+  }
+  return 0;
+}
+
+// ---- export -----------------------------------------------------------------
+
+int export_one(const ScenarioSpec& spec, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "ipfs_sim export: cannot open " << path << " for writing\n";
+    return 1;
+  }
+  out << spec.to_json_string();
+  std::cout << "wrote " << path << "\n";
+  return 0;
+}
+
+std::string file_name_for(const ScenarioSpec& spec) {
+  std::string file = spec.name;
+  for (char& c : file) {
+    if (c == '-') c = '_';
+  }
+  return file + ".json";
+}
+
+int cmd_export(const std::vector<std::string>& args) {
+  bool all = false;
+  std::optional<std::string> name;
+  std::string dir = "scenarios";
+  std::optional<std::string> out_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const bool has_value = i + 1 < args.size();
+    if (arg == "--all") {
+      all = true;
+    } else if (arg == "--dir" && has_value) {
+      dir = args[++i];
+    } else if (arg == "--out" && has_value) {
+      out_path = args[++i];
+    } else if (!arg.starts_with("--") && !name) {
+      name = arg;
+    } else {
+      std::cerr << "ipfs_sim export: unknown option '" << arg << "'\n";
+      return 2;
+    }
+  }
+  if (all == name.has_value()) {
+    std::cerr << "ipfs_sim export: pass exactly one of NAME or --all\n";
+    return 2;
+  }
+  if (all) {
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    for (const ScenarioSpec& spec : ScenarioSpec::builtins()) {
+      const std::string path = (fs::path(dir) / file_name_for(spec)).string();
+      if (const int code = export_one(spec, path); code != 0) return code;
+    }
+    return 0;
+  }
+  const auto spec = ScenarioSpec::builtin(*name);
+  if (!spec) {
+    std::cerr << "ipfs_sim export: no builtin named '" << *name << "'\n";
+    return 1;
+  }
+  if (out_path) return export_one(*spec, *out_path);
+  std::cout << spec->to_json_string();
+  return 0;
+}
+
+// ---- selftest ---------------------------------------------------------------
+
+int cmd_selftest() {
+  // A miniature testbed experiment through the runtime facade: one
+  // instrumented vantage, a small bootstrapped population, 30 simulated
+  // minutes.  Exercises the build end-to-end without a scenario file.
+  namespace runtime = ipfs::runtime;
+  namespace node = ipfs::node;
+  auto testbed = runtime::TestbedBuilder().seed(42).build();
+  auto vantage = testbed.add_server(node::NodeConfig::dht_server(8, 12));
+  auto& recorder = vantage.attach_recorder();
+  testbed.add_servers(6).add_clients(4).bootstrap_all_via(vantage);
+  testbed.run_for(30 * ipfs::common::kMinute);
+  recorder.finish();
+  const auto dataset = recorder.take_dataset();
+  std::cout << "selftest: " << testbed.node_count() << " nodes, "
+            << dataset.peer_count() << " observed peers, "
+            << dataset.connection_count() << " connections, "
+            << testbed.simulation().executed_events() << " events\n";
+  if (dataset.peer_count() == 0) {
+    std::cerr << "selftest: vantage observed nothing — build is broken\n";
+    return 1;
+  }
+  std::cout << "selftest passed\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(std::cerr, 2);
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "help" || command == "--help" || command == "-h") {
+    return usage(std::cout, 0);
+  }
+  if (command == "list") return cmd_list(args);
+  if (command == "validate") return cmd_validate(args);
+  if (command == "run") return cmd_run(args);
+  if (command == "export") return cmd_export(args);
+  if (command == "selftest") return cmd_selftest();
+  std::cerr << "ipfs_sim: unknown command '" << command << "'\n";
+  return usage(std::cerr, 2);
+}
