@@ -4,21 +4,9 @@
 
 namespace ipfs::net {
 
-common::SimDuration LatencyModel::one_way(const p2p::PeerId& a, const p2p::PeerId& b,
-                                          common::Rng& jitter_rng) const {
-  // Deterministic per-pair base latency: hash the unordered pair.
-  const std::uint64_t pair_hash =
-      common::mix64(a.prefix64() ^ b.prefix64(), a.prefix64() + b.prefix64());
-  const auto span = static_cast<std::uint64_t>(max_one_way - min_one_way + 1);
-  const auto base = min_one_way + static_cast<common::SimDuration>(pair_hash % span);
-  const double jitter = 1.0 + jitter_fraction * (2.0 * jitter_rng.uniform() - 1.0);
-  const auto with_jitter =
-      static_cast<common::SimDuration>(static_cast<double>(base) * jitter);
-  return std::max<common::SimDuration>(with_jitter, 1);
-}
-
-Network::Network(sim::Simulation& simulation, common::Rng rng, LatencyModel latency)
-    : simulation_(simulation), rng_(rng), latency_(latency) {}
+Network::Network(sim::Simulation& simulation, common::Rng rng,
+                 ConditionModel conditions)
+    : simulation_(simulation), rng_(rng), conditions_(std::move(conditions)) {}
 
 Network::~Network() {
   for (auto& [id, host] : hosts_) {
@@ -48,16 +36,21 @@ void Network::remove_host(const p2p::PeerId& id) {
 }
 
 common::SimDuration Network::latency(const p2p::PeerId& a, const p2p::PeerId& b) {
-  return latency_.one_way(a, b, rng_);
+  return conditions_.one_way(a, b, simulation_.now(), rng_);
 }
 
 void Network::dial(const p2p::PeerId& from, const p2p::PeerId& to,
                    std::function<void(bool)> on_done) {
   const auto rtt = 2 * latency(from, to);
-  simulation_.schedule_after(rtt, [this, from, to, on_done = std::move(on_done)] {
+  // The condition verdict is taken at attempt time (a dial launched into
+  // an outage fails even if the window closes mid-flight); it is a pure
+  // hash, so the jitter RNG stream is untouched by any veto.
+  const bool admitted = conditions_.dial_allowed(from, to, simulation_.now());
+  simulation_.schedule_after(rtt, [this, from, to, admitted,
+                                   on_done = std::move(on_done)] {
     const auto from_it = hosts_.find(from);
     const auto to_it = hosts_.find(to);
-    bool success = from_it != hosts_.end() && to_it != hosts_.end() &&
+    bool success = admitted && from_it != hosts_.end() && to_it != hosts_.end() &&
                    !connected(from, to) && to_it->second->accept_inbound(from);
     if (success) {
       p2p::Swarm& dialer = from_it->second->swarm();
@@ -87,6 +80,13 @@ bool Network::connected(const p2p::PeerId& a, const p2p::PeerId& b) const {
 
 void Network::send(const p2p::PeerId& from, const p2p::PeerId& to, Message message) {
   if (!connected(from, to)) return;
+  // Loss verdict before the latency sample: lost messages consume no
+  // jitter draw, and a default model never loses anything.  Outages and
+  // partitions drop in-flight traffic too, not just new dials.
+  if (!conditions_.path_open(from, to, simulation_.now()) ||
+      conditions_.message_lost(from, to, simulation_.now())) {
+    return;
+  }
   simulation_.schedule_after(
       latency(from, to), [this, from, to, message = std::move(message)] {
         const auto it = hosts_.find(to);

@@ -6,6 +6,11 @@
 // side closes (deliberately or via its connection manager), the counterpart
 // observes the close with the mirrored reason — exactly the asymmetry the
 // paper leans on when attributing short connections to *remote* trimming.
+//
+// Latency, loss, NAT reachability and scheduled disturbances all come from
+// the pluggable `net::ConditionModel` (conditions.hpp, DESIGN.md §9); the
+// default model reproduces the original flat `LatencyModel` fabric
+// bit-for-bit.
 #pragma once
 
 #include <any>
@@ -15,6 +20,7 @@
 #include <unordered_map>
 
 #include "common/rng.hpp"
+#include "net/conditions.hpp"
 #include "p2p/swarm.hpp"
 #include "sim/simulation.hpp"
 
@@ -27,6 +33,12 @@ struct Message {
 };
 
 /// A network participant: owns a swarm and handles inbound messages.
+///
+/// Lifetime contract: a registered host must either outlive the `Network`
+/// or deregister (`Network::remove_host`) before it is destroyed — the
+/// network detaches its swarm taps through the virtual `swarm()` accessor
+/// on both paths.  The shipped hosts (GoIpfsNode, HydraNode, Crawler)
+/// deregister in their destructors via `stop()`.
 class Host {
  public:
   virtual ~Host() = default;
@@ -42,21 +54,11 @@ class Host {
   }
 };
 
-/// Pairwise latency model: deterministic base per pair plus jitter.
-struct LatencyModel {
-  common::SimDuration min_one_way = 5 * common::kMillisecond;
-  common::SimDuration max_one_way = 150 * common::kMillisecond;
-  double jitter_fraction = 0.2;
-
-  [[nodiscard]] common::SimDuration one_way(const p2p::PeerId& a, const p2p::PeerId& b,
-                                            common::Rng& jitter_rng) const;
-};
-
 /// The simulated transport fabric connecting registered hosts.
 class Network {
  public:
   Network(sim::Simulation& simulation, common::Rng rng,
-          LatencyModel latency = LatencyModel{});
+          ConditionModel conditions = ConditionModel{});
   ~Network();
 
   Network(const Network&) = delete;
@@ -76,13 +78,15 @@ class Network {
   [[nodiscard]] std::size_t host_count() const noexcept { return hosts_.size(); }
 
   /// Asynchronously dial `to` from `from`.  `on_done(success)` fires after
-  /// one RTT.  Fails when either side is offline, the target refuses, or
-  /// the pair is already connected (one net-level connection per pair).
+  /// one RTT.  Fails when either side is offline, the target refuses, the
+  /// pair is already connected (one net-level connection per pair), or the
+  /// condition model vetoes it (NAT class, outage/partition, dial loss).
   void dial(const p2p::PeerId& from, const p2p::PeerId& to,
             std::function<void(bool)> on_done = {});
 
   /// Deliver a message after one-way latency; dropped silently when the
-  /// pair is not connected at send time or the target is gone on arrival.
+  /// pair is not connected at send time, the condition model loses it
+  /// (message loss, outage, partition), or the target is gone on arrival.
   void send(const p2p::PeerId& from, const p2p::PeerId& to, Message message);
 
   /// Close the pair's connection, initiated by `initiator`.
@@ -93,6 +97,10 @@ class Network {
 
   [[nodiscard]] common::SimDuration latency(const p2p::PeerId& a,
                                             const p2p::PeerId& b);
+
+  [[nodiscard]] const ConditionModel& conditions() const noexcept {
+    return conditions_;
+  }
 
  private:
   struct Link {
@@ -124,7 +132,7 @@ class Network {
 
   sim::Simulation& simulation_;
   common::Rng rng_;
-  LatencyModel latency_;
+  ConditionModel conditions_;
   std::unordered_map<p2p::PeerId, Host*> hosts_;
   std::unordered_map<p2p::PeerId, std::unique_ptr<SwarmTap>> taps_;
   std::unordered_map<LinkKey, Link, LinkKeyHash> links_;

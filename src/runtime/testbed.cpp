@@ -10,6 +10,7 @@ namespace {
 constexpr std::uint64_t kNetworkBranch = 0x6e21;
 constexpr std::uint64_t kAddressBranch = 0x1bad;
 constexpr std::uint64_t kEntityBranch = 0x1d5e;
+constexpr std::uint64_t kConditionsBranch = 0x2c0d;
 }  // namespace
 
 // ---- NodeHandle ------------------------------------------------------------
@@ -52,10 +53,11 @@ void NodeHandle::stop() const { node().stop(); }
 
 // ---- Testbed ---------------------------------------------------------------
 
-Testbed::Testbed(std::uint64_t seed, net::LatencyModel latency)
+Testbed::Testbed(std::uint64_t seed, net::ConditionSpec conditions)
     : seed_(seed),
       network_(simulation_, common::Rng(common::mix64(seed, kNetworkBranch)),
-               latency),
+               net::ConditionModel(std::move(conditions),
+                                   common::mix64(seed, kConditionsBranch))),
       ips_(common::Rng(common::mix64(seed, kAddressBranch))) {}
 
 common::Rng Testbed::entity_rng(std::uint64_t label) noexcept {

@@ -118,7 +118,7 @@ class Testbed {
   friend class TestbedBuilder;
   friend class NodeHandle;
 
-  Testbed(std::uint64_t seed, net::LatencyModel latency);
+  Testbed(std::uint64_t seed, net::ConditionSpec conditions);
 
   struct Entry {
     std::unique_ptr<node::GoIpfsNode> node;
@@ -151,16 +151,26 @@ class TestbedBuilder {
     return *this;
   }
 
+  /// Flat latency shortcut; equivalent to `conditions({.latency = model})`.
   TestbedBuilder& latency(net::LatencyModel model) {
-    latency_ = model;
+    conditions_.latency = model;
     return *this;
   }
 
-  [[nodiscard]] Testbed build() const { return Testbed(seed_, latency_); }
+  /// Full network-condition description: zones, loss, NAT classes and
+  /// scheduled disturbances (net/conditions.hpp).  The model is seeded
+  /// from the testbed seed, so two testbeds with equal seeds agree on
+  /// every zone assignment and loss verdict.
+  TestbedBuilder& conditions(net::ConditionSpec spec) {
+    conditions_ = std::move(spec);
+    return *this;
+  }
+
+  [[nodiscard]] Testbed build() const { return Testbed(seed_, conditions_); }
 
  private:
   std::uint64_t seed_ = 20211203;
-  net::LatencyModel latency_{};
+  net::ConditionSpec conditions_{};
 };
 
 }  // namespace ipfs::runtime

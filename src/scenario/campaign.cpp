@@ -130,7 +130,13 @@ struct CampaignEngine::Impl {
   explicit Impl(CampaignConfig config_in)
       : config(std::move(config_in)),
         rng(config.seed),
-        population(config.population, config.period.duration, rng.child(0x707)) {}
+        population(config.population, config.period.duration, rng.child(0x707)) {
+    if (config.conditions) {
+      // Seeded off the campaign seed directly (not the rng stream) so that
+      // engaging the section never shifts any other RNG-tree branch.
+      conditions.emplace(*config.conditions, common::mix64(config.seed, 0x2c0de));
+    }
+  }
 
   // ---- types -------------------------------------------------------------
 
@@ -217,6 +223,30 @@ struct CampaignEngine::Impl {
 
   [[nodiscard]] bool visible(const RemotePeer& peer, const Vantage& vantage) const {
     return pair_visible(peer.pid, vantage.salt, config.vantage_visibility);
+  }
+
+  // ---- network-condition gates (DESIGN.md §9) ------------------------------
+  //
+  // The vantage is treated as publicly reachable (it is the measuring
+  // node), so remote->vantage contact is gated on the path (outages,
+  // partitions) and the dial-failure hash only; vantage->remote dials
+  // additionally respect the target's NAT reachability class.  All three
+  // verdicts are pure hashes — no RNG stream is consumed — so an absent
+  // `config.conditions` leaves every draw of the engine untouched.
+
+  /// May `peer` open an inbound connection onto vantage `v` right now?
+  [[nodiscard]] bool contact_allowed(const RemotePeer& peer, std::size_t v) const {
+    if (!conditions) return true;
+    const p2p::PeerId& vantage_pid = vantages[v].swarm->local_id();
+    return conditions->path_open(peer.pid, vantage_pid, simulation.now()) &&
+           !conditions->dial_failure(peer.pid, vantage_pid, simulation.now());
+  }
+
+  /// May vantage `v` dial out to `peer` right now (NAT class included)?
+  [[nodiscard]] bool outbound_allowed(const RemotePeer& peer, std::size_t v) const {
+    if (!conditions) return true;
+    return conditions->dial_allowed(vantages[v].swarm->local_id(), peer.pid,
+                                    simulation.now(), to_string(peer.category));
   }
 
   [[nodiscard]] std::uint8_t& maintained_flag(std::uint32_t peer, std::size_t v) {
@@ -343,6 +373,9 @@ struct CampaignEngine::Impl {
     if (!state.online || simulation.now() >= config.period.duration) return;
     if (maintained_flag(index, v) != 0) return;  // already maintained
     const RemotePeer& peer = population.peers()[index];
+    // A vetoed maintained open is simply lost for this session (the next
+    // session, or a post-trim reconnect, tries again).
+    if (!contact_allowed(peer, v)) return;
     const CategoryParams& params = config.population.params(peer.category);
     Vantage& vantage = vantages[v];
     common::Rng prng = peer_rng(index ^ 0x40000000u);
@@ -390,6 +423,7 @@ struct CampaignEngine::Impl {
     // instead of dialing a fresh one.
     if (maintained_flag(index, v) != 0) return;
     const RemotePeer& peer = population.peers()[index];
+    if (!contact_allowed(peer, v)) return;  // this query attempt is lost
     const PeerState& state = peer_states[index];
     const CategoryParams& params = config.population.params(peer.category);
     Vantage& vantage = vantages[v];
@@ -406,6 +440,13 @@ struct CampaignEngine::Impl {
     double duration_s = median_s * std::exp(0.65 * prng.normal());
     duration_s = std::clamp(duration_s, 3.0, 15.0 * 60.0);
     SimTime close_at = simulation.now() + common::from_seconds(duration_s);
+    if (conditions) {
+      // Geography reaches the contact-duration data: a query exchange
+      // spans round trips, so stretch the connection by one sampled RTT
+      // from the condition model's zone matrix.
+      close_at += 2 * conditions->one_way(peer.pid, vantage.swarm->local_id(),
+                                          simulation.now(), prng);
+    }
     close_at = std::min(close_at, state.session_end);
     simulation.schedule_at(close_at, [this, v, conn_id] {
       vantages[v].swarm->close_connection(conn_id, p2p::CloseReason::kRemoteClose);
@@ -416,8 +457,15 @@ struct CampaignEngine::Impl {
                          p2p::ConnectionId conn_id) {
     // Identify completes roughly one round-trip after the connection opens.
     common::Rng prng = peer_rng(index ^ 0x08000000u);
-    const auto delay = static_cast<SimDuration>(
+    auto delay = static_cast<SimDuration>(
         prng.uniform(0.4 * kSecond, 2.5 * kSecond));
+    if (conditions) {
+      // The handshake RTT rides on the condition model's latency, so
+      // inter-zone identifies land measurably later than intra-zone ones.
+      delay += 2 * conditions->one_way(population.peers()[index].pid,
+                                       vantages[v].swarm->local_id(),
+                                       simulation.now(), prng);
+    }
     simulation.schedule_after(delay, [this, index, v, conn_id] {
       Vantage& vantage = vantages[v];
       const p2p::Connection* connection = vantage.swarm->find(conn_id);
@@ -523,6 +571,7 @@ struct CampaignEngine::Impl {
     const std::uint32_t index = online_servers[static_cast<std::size_t>(
         prng.uniform_u64(online_servers.size()))];
     const RemotePeer& peer = population.peers()[index];
+    if (!outbound_allowed(peer, v)) return;  // NAT'd / cut off / dial lost
     Vantage& vantage = vantages[v];
 
     const auto conn_id = vantage.swarm->open_connection(
@@ -560,6 +609,7 @@ struct CampaignEngine::Impl {
                 prng.uniform_u64(online_servers.size()))];
             const RemotePeer& peer = population.peers()[index];
             if (!visible(peer, vantages[v])) return;
+            if (!outbound_allowed(peer, v)) return;
             Vantage& vantage = vantages[v];
             const auto conn_id = vantage.swarm->open_connection(
                 peer.pid, p2p::Multiaddr{peer.ip, p2p::Transport::kTcp, peer.port},
@@ -631,7 +681,18 @@ struct CampaignEngine::Impl {
             const PeerState& state = peer_states[peer.index];
             if (state.online) {
               if (prng.bernoulli(params.crawl_visibility)) {
-                ++snapshot.reached_servers;
+                // Conditions narrow the crawler's *reach*, never what it
+                // has learned: outage and partitioned zones are cut off
+                // from the crawler (it sits in "the rest" of the network)
+                // and NAT classes refuse its dials, but routing tables
+                // keep mentioning those PIDs either way.
+                const bool reachable =
+                    conditions == std::nullopt ||
+                    (conditions->accepts_inbound(peer.pid,
+                                                 to_string(peer.category)) &&
+                     !conditions->zone_down(peer.pid, simulation.now()) &&
+                     !conditions->zone_partitioned(peer.pid, simulation.now()));
+                if (reachable) ++snapshot.reached_servers;
                 ++snapshot.learned_pids;
               }
             } else if (simulation.now() - state.last_online < 24 * kHour) {
@@ -865,6 +926,7 @@ struct CampaignEngine::Impl {
   common::Rng rng;
   sim::Simulation simulation;
   Population population;
+  std::optional<net::ConditionModel> conditions;
   std::vector<Vantage> vantages;
   std::vector<PeerState> peer_states;
   std::vector<std::uint8_t> maintained_flags;
@@ -899,6 +961,9 @@ std::optional<std::string> CampaignEngine::validate(const CampaignConfig& config
   }
   if (!(config.client_dials_per_hour > 0.0)) {
     return "client_dials_per_hour must be positive";
+  }
+  if (config.conditions) {
+    if (auto error = net::ConditionSpec::validate(*config.conditions)) return error;
   }
   return std::nullopt;
 }

@@ -28,6 +28,7 @@
 
 #include "measure/recorder.hpp"
 #include "measure/sink.hpp"
+#include "net/conditions.hpp"
 #include "scenario/period.hpp"
 #include "scenario/population.hpp"
 #include "sim/simulation.hpp"
@@ -55,6 +56,15 @@ struct CampaignConfig {
 
   /// Outbound dial rate of a DHT-client vantage (P3's behaviour), per hour.
   double client_dials_per_hour = 1980.0;
+
+  /// Optional network-condition model (net/conditions.hpp, DESIGN.md §9):
+  /// zones, dial-failure/loss, NAT reachability classes and scheduled
+  /// disturbances.  Engaged, it gates remote->vantage contact attempts,
+  /// vantage->remote dials and active-crawl reachability through pure
+  /// hash verdicts seeded from `seed`.  nullopt leaves the engine's
+  /// behaviour bit-for-bit identical to the pre-conditions code path
+  /// (enforced by tests/integration/golden_determinism_test.cpp).
+  std::optional<net::ConditionSpec> conditions;
 };
 
 /// Datasets and baselines produced by a campaign run (the all-in-memory

@@ -321,6 +321,247 @@ ParseError parse_population(const JsonValue& value, const std::string& path,
   return std::nullopt;
 }
 
+// ---- the "network" section (net::ConditionSpec) -----------------------------
+
+ParseError parse_network_latency(const JsonValue& value, const std::string& path,
+                                 net::LatencyModel& latency) {
+  if (auto error = expect_object(value, path)) return error;
+  if (auto error = check_keys(value, path,
+                              {"flat_min_ms", "flat_max_ms", "jitter_fraction"})) {
+    return error;
+  }
+  if (auto e = get_duration_ms(value, "flat_min_ms", path, latency.min_one_way)) {
+    return e;
+  }
+  if (auto e = get_duration_ms(value, "flat_max_ms", path, latency.max_one_way)) {
+    return e;
+  }
+  if (auto e = get_double(value, "jitter_fraction", path, latency.jitter_fraction)) {
+    return e;
+  }
+  return std::nullopt;
+}
+
+ParseError parse_network_zone(const JsonValue& value, const std::string& path,
+                              net::ZoneSpec& zone) {
+  if (auto error = expect_object(value, path)) return error;
+  if (auto error = check_keys(value, path,
+                              {"name", "weight", "intra_min_ms", "intra_max_ms"})) {
+    return error;
+  }
+  if (auto e = get_string(value, "name", path, zone.name)) return e;
+  if (auto e = get_double(value, "weight", path, zone.weight)) return e;
+  if (auto e = get_duration_ms(value, "intra_min_ms", path, zone.intra_min)) return e;
+  if (auto e = get_duration_ms(value, "intra_max_ms", path, zone.intra_max)) return e;
+  return std::nullopt;
+}
+
+ParseError parse_network_link(const JsonValue& value, const std::string& path,
+                              net::ZoneLinkSpec& link) {
+  if (auto error = expect_object(value, path)) return error;
+  if (auto error = check_keys(value, path, {"from", "to", "min_ms", "max_ms"})) {
+    return error;
+  }
+  if (auto e = get_string(value, "from", path, link.from)) return e;
+  if (auto e = get_string(value, "to", path, link.to)) return e;
+  if (auto e = get_duration_ms(value, "min_ms", path, link.min_one_way)) return e;
+  if (auto e = get_duration_ms(value, "max_ms", path, link.max_one_way)) return e;
+  return std::nullopt;
+}
+
+ParseError parse_network_nat(const JsonValue& value, const std::string& path,
+                             net::NatSpec& nat) {
+  if (auto error = expect_object(value, path)) return error;
+  if (auto error = check_keys(value, path, {"classes", "categories"})) return error;
+  if (const JsonValue* classes = value.find("classes")) {
+    const std::string classes_path = join(path, "classes");
+    if (!classes->is_array()) return classes_path + ": expected an array";
+    for (std::size_t i = 0; i < classes->as_array().size(); ++i) {
+      const std::string item_path = classes_path + "[" + std::to_string(i) + "]";
+      const JsonValue& item = classes->as_array()[i];
+      if (auto error = expect_object(item, item_path)) return error;
+      if (auto error = check_keys(item, item_path,
+                                  {"name", "weight", "accepts_inbound"})) {
+        return error;
+      }
+      net::NatClassSpec nat_class;
+      if (auto e = get_string(item, "name", item_path, nat_class.name)) return e;
+      if (auto e = get_double(item, "weight", item_path, nat_class.weight)) return e;
+      if (auto e = get_bool(item, "accepts_inbound", item_path,
+                            nat_class.accepts_inbound)) {
+        return e;
+      }
+      nat.classes.push_back(std::move(nat_class));
+    }
+  }
+  if (const JsonValue* categories = value.find("categories")) {
+    const std::string categories_path = join(path, "categories");
+    if (auto error = expect_object(*categories, categories_path)) return error;
+    for (const JsonValue::Member& member : categories->as_object()) {
+      if (!category_from_string(member.first)) {
+        return categories_path + ": unknown category name '" + member.first + "'";
+      }
+      if (!member.second.is_string()) {
+        return join(categories_path, member.first) + ": expected a class name";
+      }
+      nat.categories.emplace_back(member.first, member.second.as_string());
+    }
+  }
+  return std::nullopt;
+}
+
+ParseError parse_network_disturbance(const JsonValue& value, const std::string& path,
+                                     net::DisturbanceSpec& disturbance) {
+  if (auto error = expect_object(value, path)) return error;
+  std::string kind;
+  if (auto e = get_string(value, "kind", path, kind)) return e;
+  const auto parsed_kind = net::disturbance_kind_from_string(kind);
+  if (!parsed_kind) {
+    return join(path, "kind") + ": expected \"outage\", \"partition\" or \"degrade\"";
+  }
+  disturbance.kind = *parsed_kind;
+  // Key sets are per kind, so e.g. a latency_factor on an outage is a typo
+  // caught at validate time, not silently ignored.
+  switch (disturbance.kind) {
+    case net::DisturbanceSpec::Kind::kOutage:
+      if (auto error = check_keys(value, path,
+                                  {"kind", "zone", "from_ms", "until_ms",
+                                   "period_ms"})) {
+        return error;
+      }
+      break;
+    case net::DisturbanceSpec::Kind::kPartition:
+      if (auto error = check_keys(value, path,
+                                  {"kind", "zones", "from_ms", "until_ms",
+                                   "period_ms"})) {
+        return error;
+      }
+      break;
+    case net::DisturbanceSpec::Kind::kDegrade:
+      if (auto error = check_keys(value, path,
+                                  {"kind", "zone", "from_ms", "until_ms",
+                                   "period_ms", "latency_factor", "extra_loss"})) {
+        return error;
+      }
+      break;
+  }
+  if (auto e = get_string(value, "zone", path, disturbance.zone)) return e;
+  if (const JsonValue* zones = value.find("zones")) {
+    const std::string zones_path = join(path, "zones");
+    if (!zones->is_array()) return zones_path + ": expected an array of zone names";
+    for (const JsonValue& zone : zones->as_array()) {
+      if (!zone.is_string()) return zones_path + ": expected an array of zone names";
+      disturbance.zones.push_back(zone.as_string());
+    }
+  }
+  if (auto e = get_duration_ms(value, "from_ms", path, disturbance.from)) return e;
+  if (auto e = get_duration_ms(value, "until_ms", path, disturbance.until)) return e;
+  if (auto e = get_duration_ms(value, "period_ms", path, disturbance.period)) {
+    return e;
+  }
+  if (auto e = get_double(value, "latency_factor", path,
+                          disturbance.latency_factor)) {
+    return e;
+  }
+  if (auto e = get_double(value, "extra_loss", path, disturbance.extra_loss)) {
+    return e;
+  }
+  return std::nullopt;
+}
+
+ParseError parse_network(const JsonValue& value, const std::string& path,
+                         net::ConditionSpec& network) {
+  if (auto error = expect_object(value, path)) return error;
+  if (auto error = check_keys(value, path,
+                              {"latency", "symmetric", "zones", "default_link",
+                               "links", "loss", "nat", "disturbances"})) {
+    return error;
+  }
+  if (const JsonValue* latency = value.find("latency")) {
+    if (auto error = parse_network_latency(*latency, join(path, "latency"),
+                                           network.latency)) {
+      return error;
+    }
+  }
+  if (auto e = get_bool(value, "symmetric", path, network.symmetric)) return e;
+  if (const JsonValue* zones = value.find("zones")) {
+    const std::string zones_path = join(path, "zones");
+    if (!zones->is_array()) return zones_path + ": expected an array";
+    for (std::size_t i = 0; i < zones->as_array().size(); ++i) {
+      net::ZoneSpec zone;
+      if (auto error = parse_network_zone(
+              zones->as_array()[i], zones_path + "[" + std::to_string(i) + "]",
+              zone)) {
+        return error;
+      }
+      network.zones.push_back(std::move(zone));
+    }
+  }
+  if (const JsonValue* default_link = value.find("default_link")) {
+    const std::string link_path = join(path, "default_link");
+    if (auto error = expect_object(*default_link, link_path)) return error;
+    if (auto error = check_keys(*default_link, link_path, {"min_ms", "max_ms"})) {
+      return error;
+    }
+    if (auto e = get_duration_ms(*default_link, "min_ms", link_path,
+                                 network.default_link.min_one_way)) {
+      return e;
+    }
+    if (auto e = get_duration_ms(*default_link, "max_ms", link_path,
+                                 network.default_link.max_one_way)) {
+      return e;
+    }
+  }
+  if (const JsonValue* links = value.find("links")) {
+    const std::string links_path = join(path, "links");
+    if (!links->is_array()) return links_path + ": expected an array";
+    for (std::size_t i = 0; i < links->as_array().size(); ++i) {
+      net::ZoneLinkSpec link;
+      if (auto error = parse_network_link(
+              links->as_array()[i], links_path + "[" + std::to_string(i) + "]",
+              link)) {
+        return error;
+      }
+      network.links.push_back(std::move(link));
+    }
+  }
+  if (const JsonValue* loss = value.find("loss")) {
+    const std::string loss_path = join(path, "loss");
+    if (auto error = expect_object(*loss, loss_path)) return error;
+    if (auto error = check_keys(*loss, loss_path,
+                                {"dial_failure", "message_loss"})) {
+      return error;
+    }
+    if (auto e = get_double(*loss, "dial_failure", loss_path,
+                            network.loss.dial_failure)) {
+      return e;
+    }
+    if (auto e = get_double(*loss, "message_loss", loss_path,
+                            network.loss.message_loss)) {
+      return e;
+    }
+  }
+  if (const JsonValue* nat = value.find("nat")) {
+    if (auto error = parse_network_nat(*nat, join(path, "nat"), network.nat)) {
+      return error;
+    }
+  }
+  if (const JsonValue* disturbances = value.find("disturbances")) {
+    const std::string d_path = join(path, "disturbances");
+    if (!disturbances->is_array()) return d_path + ": expected an array";
+    for (std::size_t i = 0; i < disturbances->as_array().size(); ++i) {
+      net::DisturbanceSpec disturbance;
+      if (auto error = parse_network_disturbance(
+              disturbances->as_array()[i], d_path + "[" + std::to_string(i) + "]",
+              disturbance)) {
+        return error;
+      }
+      network.disturbances.push_back(std::move(disturbance));
+    }
+  }
+  return std::nullopt;
+}
+
 ParseError parse_campaign(const JsonValue& value, const std::string& path,
                           CampaignSettings& campaign) {
   if (auto error = expect_object(value, path)) return error;
@@ -588,6 +829,123 @@ ScenarioSpec builtin_weekend_diurnal() {
   return spec;
 }
 
+/// A trim-free 1-day server period shared by the condition-model workloads.
+PeriodSpec period_conditions(std::string name) {
+  PeriodSpec period;
+  period.name = std::move(name);
+  period.dates = "";
+  period.duration = 1 * kDay;
+  period.go_low_water = 18000;
+  period.go_high_water = 20000;
+  period.hydra_heads = 0;
+  return period;
+}
+
+/// Four geographic zones with an explicit inter-zone latency matrix — the
+/// condition-model showcase (DESIGN.md §9).
+ScenarioSpec builtin_geo_zones() {
+  ScenarioSpec spec = make_builtin(
+      "geo-zones",
+      "Four geo zones (eu/na/ap/sa) with an inter-zone latency matrix and "
+      "1% dial failure; query durations and identify latency stretch with "
+      "the pair's RTT, spreading the Fig. 7 contact-duration CDF by "
+      "geography",
+      period_conditions("GEO-ZONES"));
+  net::ConditionSpec network;
+  network.zones = {
+      {.name = "eu", .weight = 0.35, .intra_min = 8, .intra_max = 28},
+      {.name = "na", .weight = 0.30, .intra_min = 10, .intra_max = 32},
+      {.name = "ap", .weight = 0.25, .intra_min = 12, .intra_max = 36},
+      {.name = "sa", .weight = 0.10, .intra_min = 14, .intra_max = 40},
+  };
+  network.default_link = {.min_one_way = 100, .max_one_way = 200};
+  network.links = {
+      {.from = "eu", .to = "na", .min_one_way = 40, .max_one_way = 70},
+      {.from = "eu", .to = "ap", .min_one_way = 120, .max_one_way = 180},
+      {.from = "na", .to = "ap", .min_one_way = 90, .max_one_way = 150},
+      {.from = "eu", .to = "sa", .min_one_way = 95, .max_one_way = 140},
+      {.from = "na", .to = "sa", .min_one_way = 75, .max_one_way = 120},
+  };
+  network.loss.dial_failure = 0.01;
+  spec.network = std::move(network);
+  return spec;
+}
+
+/// Loss-heavy fabric with NAT classes and a diurnal degradation window —
+/// the paper's short-lived-connection and NAT-reachability observations,
+/// turned up.
+ScenarioSpec builtin_flaky_links() {
+  ScenarioSpec spec = make_builtin(
+      "flaky-links",
+      "Flaky fabric: 12% dial failure, 5% message loss, 65% of users "
+      "behind inbound-refusing NAT classes, and a recurring 6 h degradation "
+      "window every 24 h adding 15% loss at 2.5x latency — diurnal churn "
+      "from network conditions alone",
+      period_conditions("FLAKY-LINKS"));
+  net::ConditionSpec network;
+  network.loss.dial_failure = 0.12;
+  network.loss.message_loss = 0.05;
+  network.nat.classes = {
+      {.name = "public", .weight = 0.35, .accepts_inbound = true},
+      {.name = "eim-nat", .weight = 0.45, .accepts_inbound = false},
+      {.name = "symmetric-nat", .weight = 0.20, .accepts_inbound = false},
+  };
+  network.nat.categories = {
+      {"normal-user", "eim-nat"},
+      {"light-client", "eim-nat"},
+      {"one-time", "symmetric-nat"},
+      // Server populations are publicly reachable by the paper's premise
+      // (DHT server mode requires inbound reachability) — pin them so the
+      // weighted hash cannot put them behind NAT.
+      {"core-server", "public"},
+      {"light-server", "public"},
+      {"hydra", "public"},
+      {"ethereum", "public"},
+  };
+  net::DisturbanceSpec diurnal;
+  diurnal.kind = net::DisturbanceSpec::Kind::kDegrade;
+  diurnal.from = 2 * kHour;
+  diurnal.until = 8 * kHour;
+  diurnal.period = 24 * kHour;
+  diurnal.latency_factor = 2.5;
+  diurnal.extra_loss = 0.15;
+  network.disturbances = {diurnal};
+  spec.network = std::move(network);
+  return spec;
+}
+
+/// A zone partition plus a short total outage — the scheduled-disturbance
+/// machinery driven hard enough to leave a visible dent in every dataset.
+ScenarioSpec builtin_zone_partition() {
+  ScenarioSpec spec = make_builtin(
+      "zone-partition",
+      "Three zones; 'ap' is partitioned from the rest for hours 8-16 and "
+      "'na' suffers a full 1 h outage at hour 20 — connection gaps and "
+      "recovery surges driven entirely by the simulation clock",
+      period_conditions("ZONE-PARTITION"));
+  net::ConditionSpec network;
+  network.zones = {
+      {.name = "eu", .weight = 0.40, .intra_min = 8, .intra_max = 28},
+      {.name = "na", .weight = 0.35, .intra_min = 10, .intra_max = 32},
+      {.name = "ap", .weight = 0.25, .intra_min = 12, .intra_max = 36},
+  };
+  network.default_link = {.min_one_way = 60, .max_one_way = 160};
+  network.loss.dial_failure = 0.02;
+  net::DisturbanceSpec partition;
+  partition.kind = net::DisturbanceSpec::Kind::kPartition;
+  partition.zones = {"ap"};
+  partition.from = 8 * kHour;
+  partition.until = 16 * kHour;
+  net::DisturbanceSpec outage;
+  outage.kind = net::DisturbanceSpec::Kind::kOutage;
+  outage.zone = "na";
+  outage.from = 20 * kHour;
+  outage.until = 21 * kHour;
+  network.disturbances = {partition, outage};
+  spec.network = std::move(network);
+  return spec;
+}
+
 }  // namespace
 
 // ---- (de)serialisation ------------------------------------------------------
@@ -602,7 +960,7 @@ std::expected<ScenarioSpec, std::string> ScenarioSpec::from_json(
   }
   if (auto error = check_keys(root, "document",
                               {"name", "description", "period", "population",
-                               "campaign", "output"})) {
+                               "network", "campaign", "output"})) {
     return std::unexpected(std::move(*error));
   }
 
@@ -620,6 +978,12 @@ std::expected<ScenarioSpec, std::string> ScenarioSpec::from_json(
   }
   if (const JsonValue* population = root.find("population")) {
     if (auto error = parse_population(*population, "population", spec.population)) {
+      return std::unexpected(std::move(*error));
+    }
+  }
+  if (const JsonValue* network = root.find("network")) {
+    spec.network.emplace();
+    if (auto error = parse_network(*network, "network", *spec.network)) {
       return std::unexpected(std::move(*error));
     }
   }
@@ -727,6 +1091,102 @@ void ScenarioSpec::to_json(JsonWriter& writer) const {
   writer.end_object();
   writer.end_object();
 
+  // The "network" section is written only when engaged: pre-conditions
+  // scenario files must keep exporting byte-identically.
+  if (network) {
+    const net::ConditionSpec& spec = *network;
+    writer.key("network");
+    writer.begin_object();
+    writer.key("latency");
+    writer.begin_object();
+    writer.field("flat_min_ms", static_cast<std::int64_t>(spec.latency.min_one_way));
+    writer.field("flat_max_ms", static_cast<std::int64_t>(spec.latency.max_one_way));
+    writer.field("jitter_fraction", spec.latency.jitter_fraction);
+    writer.end_object();
+    writer.field("symmetric", spec.symmetric);
+    writer.key("zones");
+    writer.begin_array();
+    for (const net::ZoneSpec& zone : spec.zones) {
+      writer.begin_object();
+      writer.field("name", zone.name);
+      writer.field("weight", zone.weight);
+      writer.field("intra_min_ms", static_cast<std::int64_t>(zone.intra_min));
+      writer.field("intra_max_ms", static_cast<std::int64_t>(zone.intra_max));
+      writer.end_object();
+    }
+    writer.end_array();
+    writer.key("default_link");
+    writer.begin_object();
+    writer.field("min_ms", static_cast<std::int64_t>(spec.default_link.min_one_way));
+    writer.field("max_ms", static_cast<std::int64_t>(spec.default_link.max_one_way));
+    writer.end_object();
+    writer.key("links");
+    writer.begin_array();
+    for (const net::ZoneLinkSpec& link : spec.links) {
+      writer.begin_object();
+      writer.field("from", link.from);
+      writer.field("to", link.to);
+      writer.field("min_ms", static_cast<std::int64_t>(link.min_one_way));
+      writer.field("max_ms", static_cast<std::int64_t>(link.max_one_way));
+      writer.end_object();
+    }
+    writer.end_array();
+    writer.key("loss");
+    writer.begin_object();
+    writer.field("dial_failure", spec.loss.dial_failure);
+    writer.field("message_loss", spec.loss.message_loss);
+    writer.end_object();
+    writer.key("nat");
+    writer.begin_object();
+    writer.key("classes");
+    writer.begin_array();
+    for (const net::NatClassSpec& nat_class : spec.nat.classes) {
+      writer.begin_object();
+      writer.field("name", nat_class.name);
+      writer.field("weight", nat_class.weight);
+      writer.field("accepts_inbound", nat_class.accepts_inbound);
+      writer.end_object();
+    }
+    writer.end_array();
+    writer.key("categories");
+    writer.begin_object();
+    for (const auto& [category, class_name] : spec.nat.categories) {
+      writer.field(category, class_name);
+    }
+    writer.end_object();
+    writer.end_object();
+    writer.key("disturbances");
+    writer.begin_array();
+    for (const net::DisturbanceSpec& disturbance : spec.disturbances) {
+      writer.begin_object();
+      writer.field("kind", net::to_string(disturbance.kind));
+      switch (disturbance.kind) {
+        case net::DisturbanceSpec::Kind::kOutage:
+          writer.field("zone", disturbance.zone);
+          break;
+        case net::DisturbanceSpec::Kind::kPartition:
+          writer.key("zones");
+          writer.begin_array();
+          for (const std::string& zone : disturbance.zones) writer.value(zone);
+          writer.end_array();
+          break;
+        case net::DisturbanceSpec::Kind::kDegrade:
+          if (!disturbance.zone.empty()) writer.field("zone", disturbance.zone);
+          break;
+      }
+      writer.field("from_ms", static_cast<std::int64_t>(disturbance.from));
+      writer.field("until_ms", static_cast<std::int64_t>(disturbance.until));
+      writer.field("period_ms", static_cast<std::int64_t>(disturbance.period));
+      if (disturbance.kind == net::DisturbanceSpec::Kind::kDegrade) {
+        writer.field("latency_factor", disturbance.latency_factor);
+        writer.field("extra_loss", disturbance.extra_loss);
+      }
+      writer.end_object();
+    }
+    writer.end_array();
+    writer.end_object();
+  }
+
   writer.key("campaign");
   writer.begin_object();
   writer.field("seed", campaign.seed);
@@ -792,8 +1252,17 @@ std::optional<std::string> ScenarioSpec::validate(const ScenarioSpec& spec) {
       return error;
     }
   }
+  if (spec.network) {
+    // `ConditionSpec::validate` (run by the engine check below) treats NAT
+    // category keys as opaque; only the scenario layer knows the alphabet.
+    for (const auto& [category, class_name] : spec.network->nat.categories) {
+      if (!category_from_string(category)) {
+        return "network.nat.categories: unknown category name '" + category + "'";
+      }
+    }
+  }
   // Everything the engine itself would refuse (duration, watermarks,
-  // visibility, crawl interval, dial rate, scale).
+  // visibility, crawl interval, dial rate, scale, network conditions).
   return CampaignEngine::validate(spec.to_campaign_config());
 }
 
@@ -809,6 +1278,7 @@ CampaignConfig ScenarioSpec::to_campaign_config() const {
   config.crawl_interval = campaign.crawl_interval;
   config.enable_metadata_dynamics = campaign.enable_metadata_dynamics;
   config.client_dials_per_hour = campaign.client_dials_per_hour;
+  config.conditions = network;
   return config;
 }
 
@@ -859,6 +1329,9 @@ const std::vector<ScenarioSpec>& ScenarioSpec::builtins() {
     all.push_back(builtin_nat_heavy());
     all.push_back(builtin_crawler_storm());
     all.push_back(builtin_weekend_diurnal());
+    all.push_back(builtin_geo_zones());
+    all.push_back(builtin_flaky_links());
+    all.push_back(builtin_zone_partition());
     return all;
   }();
   return kBuiltins;

@@ -32,6 +32,7 @@
 
 #include "common/json.hpp"
 #include "measure/sink.hpp"
+#include "net/conditions.hpp"
 #include "scenario/campaign.hpp"
 #include "scenario/period.hpp"
 #include "scenario/population_spec.hpp"
@@ -82,6 +83,12 @@ struct ScenarioSpec {
 
   PeriodSpec period;
   PopulationSpec population;
+  /// The optional `"network"` section: a declarative condition model
+  /// (net/conditions.hpp) — zones, loss, NAT classes, disturbances.  When
+  /// absent the campaign runs on the legacy flat fabric, byte-for-byte
+  /// (the section is also omitted from `to_json`, so pre-conditions
+  /// scenario files round-trip unchanged).
+  std::optional<net::ConditionSpec> network;
   CampaignSettings campaign;
   OutputSettings output;
 

@@ -1,0 +1,122 @@
+// Golden determinism pins for the condition-model PR.
+//
+// 1. Scenarios *without* a `"network"` section must produce campaign
+//    exports byte-identical to the pre-conditions code (the hashes below
+//    were recorded at the commit immediately before `net::ConditionModel`
+//    landed).  If one of these ever changes, the flat fabric drifted —
+//    that is a determinism regression, not a constant to refresh.
+// 2. An engaged-but-default section must match an absent one exactly.
+// 3. A conditioned scenario must stay byte-identical across worker counts
+//    through `runtime::ParallelTrialRunner`.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "measure/sink.hpp"
+#include "runtime/parallel.hpp"
+#include "scenario/campaign.hpp"
+#include "scenario/scenario_spec.hpp"
+
+namespace ipfs::scenario {
+namespace {
+
+constexpr double kScale = 0.002;  // the CI smoke scale; minutes -> seconds
+
+std::string run_to_json(const CampaignConfig& config) {
+  auto engine = CampaignEngine::create(config);
+  EXPECT_TRUE(engine.has_value()) << engine.error();
+  std::ostringstream out;
+  measure::JsonExportSink sink(out);
+  engine->run(sink);
+  return out.str();
+}
+
+std::string run_builtin(const char* name, double scale) {
+  ScenarioSpec spec = *ScenarioSpec::builtin(name);
+  spec.population.scale = scale;
+  return run_to_json(spec.to_campaign_config());
+}
+
+TEST(GoldenDeterminism, CampaignExportsMatchPreConditionsHashes) {
+  // FNV-1a (common::hash64) of the JSON export of each Table I period at
+  // scale 0.002, default seed, recorded at HEAD before this subsystem.
+  const struct {
+    const char* name;
+    std::uint64_t hash;
+  } goldens[] = {
+      {"p0", 0x78a4ac5991ecde93ULL}, {"p1", 0x6d91f304d5fac5e6ULL},
+      {"p2", 0x6d91f304d5fac5e6ULL},  // P1 == P2 here: neither trims at 0.2%
+      {"p3", 0x2cebfb16114cf92fULL}, {"p4", 0xcf1669de66317e98ULL},
+  };
+  for (const auto& golden : goldens) {
+    const std::string exported = run_builtin(golden.name, kScale);
+    ASSERT_FALSE(exported.empty()) << golden.name;
+    EXPECT_EQ(common::hash64(exported), golden.hash)
+        << golden.name
+        << ": campaign export drifted from the pre-conditions baseline";
+  }
+}
+
+TEST(GoldenDeterminism, DefaultNetworkSectionMatchesAbsentSection) {
+  // Engaging the section with all-default conditions must not move a
+  // single byte: every gate is neutral and no RNG branch shifts.
+  ScenarioSpec plain = *ScenarioSpec::builtin("p4");
+  plain.population.scale = kScale;
+  ScenarioSpec conditioned = plain;
+  conditioned.network.emplace();  // default ConditionSpec
+
+  EXPECT_EQ(run_to_json(conditioned.to_campaign_config()),
+            run_to_json(plain.to_campaign_config()));
+}
+
+TEST(GoldenDeterminism, ConditionedScenarioActuallyChangesOutput) {
+  // Sanity for the whole subsystem: flaky-links with its section stripped
+  // must differ from the real thing (otherwise the gates are dead code).
+  ScenarioSpec spec = *ScenarioSpec::builtin("flaky-links");
+  spec.population.scale = kScale;
+  ScenarioSpec stripped = spec;
+  stripped.network.reset();
+  EXPECT_NE(run_to_json(spec.to_campaign_config()),
+            run_to_json(stripped.to_campaign_config()));
+}
+
+TEST(GoldenDeterminism, GeoZonesLatencyMatrixIsLiveInCampaigns) {
+  // The zone matrix must reach the campaign's duration data (query
+  // connections stretch by RTT): moving the default link by seconds has
+  // to move the export, or the geography would be dead configuration.
+  ScenarioSpec spec = *ScenarioSpec::builtin("geo-zones");
+  spec.population.scale = kScale;
+  ScenarioSpec slow = spec;
+  slow.network->default_link = {.min_one_way = 8000, .max_one_way = 9000};
+  slow.network->links.clear();
+  EXPECT_NE(run_to_json(spec.to_campaign_config()),
+            run_to_json(slow.to_campaign_config()));
+}
+
+TEST(GoldenDeterminism, GeoZonesSweepByteIdenticalAcrossWorkerCounts) {
+  ScenarioSpec spec = *ScenarioSpec::builtin("geo-zones");
+  spec.population.scale = kScale;
+  spec.campaign.trials = 3;
+
+  std::string first;
+  for (const std::uint32_t workers : {1u, 2u, 4u}) {
+    std::ostringstream out;
+    measure::JsonExportSink sink(out);
+    runtime::ParallelTrialRunner runner({.workers = workers});
+    auto outcome = runner.run(
+        runtime::ParallelTrialRunner::seed_sweep(spec.to_campaign_config(),
+                                                 spec.trial_seeds()),
+        sink);
+    ASSERT_TRUE(outcome.has_value()) << outcome.error();
+    if (first.empty()) {
+      first = out.str();
+      ASSERT_FALSE(first.empty());
+    } else {
+      EXPECT_EQ(out.str(), first) << "workers=" << workers;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ipfs::scenario

@@ -1,0 +1,499 @@
+// Property and determinism tests for the pluggable condition model
+// (net/conditions.hpp, DESIGN.md §9).  Mirrors the oracle style of the
+// RoutingTable::closest property test: random peers, seeds and specs,
+// checked against independently computed bounds and a byte-stable golden.
+#include "net/conditions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+
+#include "net/network.hpp"
+#include "p2p/swarm.hpp"
+#include "sim/simulation.hpp"
+
+namespace ipfs::net {
+namespace {
+
+using common::kHour;
+using common::kMillisecond;
+using common::Rng;
+using common::SimDuration;
+using common::SimTime;
+using p2p::PeerId;
+
+/// A zoned spec exercising every latency path: four zones, a partial link
+/// matrix, and a default link for the unlisted pairs.
+ConditionSpec zoned_spec() {
+  ConditionSpec spec;
+  spec.zones = {
+      {.name = "eu", .weight = 0.4, .intra_min = 5, .intra_max = 25},
+      {.name = "na", .weight = 0.3, .intra_min = 8, .intra_max = 30},
+      {.name = "ap", .weight = 0.2, .intra_min = 10, .intra_max = 40},
+      {.name = "sa", .weight = 0.1, .intra_min = 12, .intra_max = 45},
+  };
+  spec.default_link = {.min_one_way = 90, .max_one_way = 200};
+  spec.links = {
+      {.from = "eu", .to = "na", .min_one_way = 40, .max_one_way = 80},
+      {.from = "eu", .to = "ap", .min_one_way = 110, .max_one_way = 170},
+  };
+  return spec;
+}
+
+/// The bounds the model promises for a pair, derived independently from
+/// the spec (the "oracle" side of the property test).
+std::pair<SimDuration, SimDuration> expected_range(const ConditionSpec& spec,
+                                                   std::size_t zone_a,
+                                                   std::size_t zone_b) {
+  if (zone_a == zone_b) {
+    return {spec.zones[zone_a].intra_min, spec.zones[zone_a].intra_max};
+  }
+  for (const ZoneLinkSpec& link : spec.links) {
+    const auto matches = [&](std::string_view from, std::string_view to) {
+      return spec.zones[zone_a].name == from && spec.zones[zone_b].name == to;
+    };
+    if (matches(link.from, link.to) || matches(link.to, link.from)) {
+      return {link.min_one_way, link.max_one_way};
+    }
+  }
+  return {spec.default_link.min_one_way, spec.default_link.max_one_way};
+}
+
+TEST(ConditionModel, FlatFallbackMatchesLatencyModelOracle) {
+  // A zoneless model must be the legacy LatencyModel bit-for-bit: same
+  // base, same single jitter draw, for any pair and any seed.
+  Rng rng(0xfa11bac);
+  for (int round = 0; round < 25; ++round) {
+    LatencyModel flat;
+    flat.min_one_way = 1 + static_cast<SimDuration>(rng.uniform_u64(20));
+    flat.max_one_way = flat.min_one_way + static_cast<SimDuration>(rng.uniform_u64(300));
+    flat.jitter_fraction = rng.uniform(0.0, 0.5);
+    ConditionSpec spec;
+    spec.latency = flat;
+    const ConditionModel model(spec, rng());
+
+    Rng jitter_a(42 + round);
+    Rng jitter_b(42 + round);
+    for (int i = 0; i < 50; ++i) {
+      const PeerId a = PeerId::random(rng);
+      const PeerId b = PeerId::random(rng);
+      const SimTime now = static_cast<SimTime>(rng.uniform_u64(72 * kHour));
+      EXPECT_EQ(model.one_way(a, b, now, jitter_a), flat.one_way(a, b, jitter_b));
+    }
+  }
+}
+
+TEST(ConditionModel, ZonedLatencyWithinConfiguredBounds) {
+  Rng rng(0xb0317d5);
+  for (int round = 0; round < 10; ++round) {
+    ConditionSpec spec = zoned_spec();
+    spec.latency.jitter_fraction = round % 2 == 0 ? 0.0 : 0.25;
+    ASSERT_EQ(ConditionSpec::validate(spec), std::nullopt);
+    const ConditionModel model(spec, rng());
+    Rng jitter(rng());
+    for (int i = 0; i < 400; ++i) {
+      const PeerId a = PeerId::random(rng);
+      const PeerId b = PeerId::random(rng);
+      const auto [min, max] =
+          expected_range(spec, model.zone_of(a), model.zone_of(b));
+      const SimDuration sample = model.one_way(a, b, 0, jitter);
+      const double f = spec.latency.jitter_fraction;
+      const auto lo = std::max<SimDuration>(
+          static_cast<SimDuration>(static_cast<double>(min) * (1.0 - f)), 1);
+      const auto hi =
+          static_cast<SimDuration>(static_cast<double>(max) * (1.0 + f)) + 1;
+      EXPECT_GE(sample, lo) << "round=" << round;
+      EXPECT_LE(sample, hi) << "round=" << round;
+    }
+  }
+}
+
+TEST(ConditionModel, BaseLatencySymmetricWhenSpecSaysSo) {
+  ConditionSpec spec = zoned_spec();
+  spec.latency.jitter_fraction = 0.0;  // isolate the base
+  const ConditionModel symmetric(spec, 7);
+  spec.symmetric = false;
+  const ConditionModel asymmetric(spec, 7);
+
+  Rng rng(0x5abb1e);
+  Rng jitter(1);
+  std::size_t differing = 0;
+  for (int i = 0; i < 200; ++i) {
+    const PeerId a = PeerId::random(rng);
+    const PeerId b = PeerId::random(rng);
+    EXPECT_EQ(symmetric.one_way(a, b, 0, jitter), symmetric.one_way(b, a, 0, jitter));
+    // Asymmetric bases are still deterministic per direction.
+    EXPECT_EQ(asymmetric.one_way(a, b, 0, jitter),
+              asymmetric.one_way(a, b, 0, jitter));
+    if (asymmetric.one_way(a, b, 0, jitter) != asymmetric.one_way(b, a, 0, jitter)) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0u);  // direction must matter for *some* pair
+}
+
+TEST(ConditionModel, ZoneAssignmentStableAndRoughlyWeighted) {
+  const ConditionSpec spec = zoned_spec();
+  const ConditionModel model(spec, 99);
+  const ConditionModel twin(spec, 99);
+  const ConditionModel other_seed(spec, 100);
+
+  Rng rng(0x20e5);
+  std::array<std::size_t, 4> histogram{};
+  std::size_t moved = 0;
+  const std::size_t n = 4000;
+  for (std::size_t i = 0; i < n; ++i) {
+    const PeerId id = PeerId::random(rng);
+    const std::size_t zone = model.zone_of(id);
+    ASSERT_LT(zone, spec.zones.size());
+    EXPECT_EQ(zone, twin.zone_of(id));  // same seed => same geography
+    if (zone != other_seed.zone_of(id)) ++moved;
+    ++histogram[zone];
+  }
+  for (std::size_t z = 0; z < spec.zones.size(); ++z) {
+    const double expected = spec.zones[z].weight * static_cast<double>(n);
+    EXPECT_NEAR(static_cast<double>(histogram[z]), expected, 0.25 * expected)
+        << "zone " << spec.zones[z].name;
+  }
+  EXPECT_GT(moved, n / 4);  // a different seed reshuffles the map
+}
+
+TEST(ConditionModel, DialFailureZeroNeverFiresOneAlwaysFires) {
+  ConditionSpec spec;
+  const ConditionModel never(spec, 1);
+  spec.loss.dial_failure = 1.0;
+  spec.loss.message_loss = 1.0;
+  const ConditionModel always(spec, 1);
+
+  Rng rng(0xd1a7);
+  for (int i = 0; i < 200; ++i) {
+    const PeerId a = PeerId::random(rng);
+    const PeerId b = PeerId::random(rng);
+    const SimTime now = static_cast<SimTime>(rng.uniform_u64(24 * kHour));
+    EXPECT_FALSE(never.dial_failure(a, b, now));
+    EXPECT_FALSE(never.message_lost(a, b, now));
+    EXPECT_TRUE(always.dial_failure(a, b, now));
+    EXPECT_TRUE(always.message_lost(a, b, now));
+  }
+}
+
+TEST(ConditionModel, DialFailureRateTracksProbability) {
+  ConditionSpec spec;
+  spec.loss.dial_failure = 0.3;
+  const ConditionModel model(spec, 4);
+  Rng rng(0x30a7e);
+  std::size_t failed = 0;
+  const std::size_t n = 5000;
+  for (std::size_t i = 0; i < n; ++i) {
+    const PeerId a = PeerId::random(rng);
+    const PeerId b = PeerId::random(rng);
+    if (model.dial_failure(a, b, static_cast<SimTime>(i))) ++failed;
+  }
+  EXPECT_NEAR(static_cast<double>(failed) / static_cast<double>(n), 0.3, 0.03);
+}
+
+TEST(ConditionModel, NatClassesGateInboundWithCategoryOverride) {
+  ConditionSpec spec;
+  spec.nat.classes = {
+      {.name = "public", .weight = 0.5, .accepts_inbound = true},
+      {.name = "nat", .weight = 0.5, .accepts_inbound = false},
+  };
+  spec.nat.categories = {{"light-client", "nat"}, {"core-server", "public"}};
+  ASSERT_EQ(ConditionSpec::validate(spec), std::nullopt);
+  const ConditionModel model(spec, 11);
+
+  Rng rng(0xa47);
+  std::size_t refused = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const PeerId id = PeerId::random(rng);
+    // The category mapping always wins over the hash assignment.
+    EXPECT_FALSE(model.accepts_inbound(id, "light-client"));
+    EXPECT_TRUE(model.accepts_inbound(id, "core-server"));
+    // Unmapped categories fall back to the weighted hash.
+    if (!model.accepts_inbound(id)) ++refused;
+  }
+  EXPECT_NEAR(static_cast<double>(refused) / 1000.0, 0.5, 0.08);
+}
+
+TEST(ConditionModel, OutageBlocksPathOnlyDuringWindow) {
+  ConditionSpec spec = zoned_spec();
+  spec.disturbances = {{.kind = DisturbanceSpec::Kind::kOutage,
+                        .zone = "ap",
+                        .from = 2 * kHour,
+                        .until = 3 * kHour}};
+  ASSERT_EQ(ConditionSpec::validate(spec), std::nullopt);
+  const ConditionModel model(spec, 3);
+
+  // Find one peer per side of the outage.
+  Rng rng(0x07a6e);
+  PeerId inside = PeerId::random(rng);
+  while (model.zone_of(inside) != 2) inside = PeerId::random(rng);
+  PeerId outside = PeerId::random(rng);
+  while (model.zone_of(outside) == 2) outside = PeerId::random(rng);
+
+  EXPECT_TRUE(model.path_open(inside, outside, 2 * kHour - 1));
+  EXPECT_FALSE(model.path_open(inside, outside, 2 * kHour));
+  EXPECT_FALSE(model.path_open(outside, inside, 3 * kHour - 1));
+  EXPECT_TRUE(model.path_open(inside, outside, 3 * kHour));
+  EXPECT_TRUE(model.zone_down(inside, 2 * kHour + 1));
+  EXPECT_FALSE(model.zone_down(outside, 2 * kHour + 1));
+  // Traffic not touching the zone is unaffected mid-window.
+  EXPECT_TRUE(model.path_open(outside, outside, 2 * kHour + 1));
+}
+
+TEST(ConditionModel, PartitionCutsCrossBoundaryPairsOnly) {
+  ConditionSpec spec = zoned_spec();
+  spec.disturbances = {{.kind = DisturbanceSpec::Kind::kPartition,
+                        .zones = {"eu", "na"},
+                        .from = 0,
+                        .until = kHour}};
+  ASSERT_EQ(ConditionSpec::validate(spec), std::nullopt);
+  const ConditionModel model(spec, 5);
+
+  Rng rng(0x9a5);
+  const auto peer_in_zone = [&](std::size_t zone) {
+    PeerId id = PeerId::random(rng);
+    while (model.zone_of(id) != zone) id = PeerId::random(rng);
+    return id;
+  };
+  const PeerId eu = peer_in_zone(0);
+  const PeerId na = peer_in_zone(1);
+  const PeerId ap = peer_in_zone(2);
+  const PeerId sa = peer_in_zone(3);
+
+  // Within either side of the boundary: open.
+  EXPECT_TRUE(model.path_open(eu, na, 1));
+  EXPECT_TRUE(model.path_open(ap, sa, 1));
+  // Across the boundary: cut while the window is active.
+  EXPECT_FALSE(model.path_open(eu, ap, 1));
+  EXPECT_FALSE(model.path_open(sa, na, 1));
+  EXPECT_TRUE(model.path_open(eu, ap, kHour));  // window over
+  // Members are cut from external observers (crawlers); the rest are not.
+  EXPECT_TRUE(model.zone_partitioned(eu, 1));
+  EXPECT_TRUE(model.zone_partitioned(na, 1));
+  EXPECT_FALSE(model.zone_partitioned(ap, 1));
+  EXPECT_FALSE(model.zone_partitioned(eu, kHour));
+  // A partition is not an outage.
+  EXPECT_FALSE(model.zone_down(eu, 1));
+}
+
+TEST(ConditionModel, RecurringWindowRepeatsEveryPeriod) {
+  DisturbanceSpec diurnal;
+  diurnal.kind = DisturbanceSpec::Kind::kDegrade;
+  diurnal.from = 2 * kHour;
+  diurnal.until = 8 * kHour;
+  diurnal.period = 24 * kHour;
+  for (int day = 0; day < 4; ++day) {
+    const SimTime base = day * 24 * kHour;
+    EXPECT_FALSE(diurnal.active_at(base + 2 * kHour - 1)) << day;
+    EXPECT_TRUE(diurnal.active_at(base + 2 * kHour)) << day;
+    EXPECT_TRUE(diurnal.active_at(base + 8 * kHour - 1)) << day;
+    EXPECT_FALSE(diurnal.active_at(base + 8 * kHour)) << day;
+  }
+  EXPECT_FALSE(diurnal.active_at(0));  // never before the first window
+}
+
+TEST(ConditionModel, DegradeMultipliesLatencyAndAddsLoss) {
+  ConditionSpec spec = zoned_spec();
+  spec.latency.jitter_fraction = 0.0;
+  spec.disturbances = {{.kind = DisturbanceSpec::Kind::kDegrade,
+                        .zone = "eu",
+                        .from = 0,
+                        .until = kHour,
+                        .latency_factor = 3.0,
+                        .extra_loss = 1.0}};
+  ASSERT_EQ(ConditionSpec::validate(spec), std::nullopt);
+  const ConditionModel model(spec, 13);
+
+  Rng rng(0xde64ade);
+  PeerId eu = PeerId::random(rng);
+  while (model.zone_of(eu) != 0) eu = PeerId::random(rng);
+  PeerId na = PeerId::random(rng);
+  while (model.zone_of(na) != 1) na = PeerId::random(rng);
+
+  Rng jitter(1);
+  const SimDuration calm = model.one_way(eu, na, kHour, jitter);
+  const SimDuration degraded = model.one_way(eu, na, 0, jitter);
+  EXPECT_EQ(degraded, 3 * calm);  // jitter off => exact factor
+  // extra_loss folds into both probabilistic gates while active.
+  EXPECT_TRUE(model.dial_failure(eu, na, 0));
+  EXPECT_TRUE(model.message_lost(eu, na, 0));
+  EXPECT_FALSE(model.dial_failure(eu, na, kHour));
+  // Traffic not touching "eu" is unaffected.
+  PeerId ap = PeerId::random(rng);
+  while (model.zone_of(ap) != 2) ap = PeerId::random(rng);
+  EXPECT_FALSE(model.dial_failure(na, ap, 0));
+}
+
+TEST(ConditionModel, DefaultModelIsNeutral) {
+  const ConditionModel model;
+  Rng rng(0xdefa017);
+  for (int i = 0; i < 50; ++i) {
+    const PeerId a = PeerId::random(rng);
+    const PeerId b = PeerId::random(rng);
+    EXPECT_EQ(model.zone_of(a), ConditionModel::kNoZone);
+    EXPECT_EQ(model.nat_class_of(a), ConditionModel::kNoClass);
+    EXPECT_TRUE(model.dial_allowed(a, b, 0));
+    EXPECT_TRUE(model.path_open(a, b, 123456));
+    EXPECT_FALSE(model.message_lost(a, b, 0));
+    EXPECT_FALSE(model.zone_down(a, 0));
+  }
+}
+
+TEST(ConditionModel, SamplingByteStableForFixedRngTree) {
+  // The golden trace: latency samples and gate verdicts for a fixed spec,
+  // seed and jitter stream must never drift (they feed every campaign
+  // export).  Regenerating this constant is a determinism break — treat
+  // it like a serialization format change.
+  ConditionSpec spec = zoned_spec();
+  spec.loss.dial_failure = 0.1;
+  spec.loss.message_loss = 0.05;
+  spec.nat.classes = {
+      {.name = "public", .weight = 0.7, .accepts_inbound = true},
+      {.name = "nat", .weight = 0.3, .accepts_inbound = false},
+  };
+  spec.disturbances = {{.kind = DisturbanceSpec::Kind::kDegrade,
+                        .zone = "na",
+                        .from = kHour,
+                        .until = 2 * kHour,
+                        .period = 6 * kHour,
+                        .latency_factor = 2.0,
+                        .extra_loss = 0.2}};
+  ASSERT_EQ(ConditionSpec::validate(spec), std::nullopt);
+  const ConditionModel model(spec, 0x601de2);
+
+  Rng rng(0x7ace);
+  Rng jitter(0x171e5);
+  std::string trace;
+  for (int i = 0; i < 500; ++i) {
+    const PeerId a = PeerId::random(rng);
+    const PeerId b = PeerId::random(rng);
+    const SimTime now = static_cast<SimTime>(rng.uniform_u64(12 * kHour));
+    trace += std::to_string(model.one_way(a, b, now, jitter));
+    trace += model.dial_allowed(a, b, now) ? '+' : '-';
+    trace += model.message_lost(a, b, now) ? 'x' : '.';
+    trace += static_cast<char>('0' + model.zone_of(a));
+  }
+  EXPECT_EQ(common::hash64(trace), 0xd41b933439d13344ULL) << "trace hash drifted";
+}
+
+// ---- Network integration ----------------------------------------------------
+
+/// Minimal host for fabric-level checks.
+struct GateHost : Host {
+  GateHost(sim::Simulation& sim, std::uint64_t seed)
+      : swarm_(sim, PeerId::from_seed(seed),
+               p2p::Multiaddr{p2p::IpAddress::v4(static_cast<std::uint32_t>(seed)),
+                              p2p::Transport::kTcp, 4001},
+               {p2p::ConnManagerConfig::with_watermarks(0, 0), false}) {}
+  p2p::Swarm& swarm() override { return swarm_; }
+  void handle_message(const PeerId&, const Message&) override { ++received; }
+  p2p::Swarm swarm_;
+  int received = 0;
+};
+
+TEST(ConditionModel, NetworkRefusesDialsToNatBlockedPeers) {
+  ConditionSpec spec;
+  spec.nat.classes = {{.name = "nat", .weight = 1.0, .accepts_inbound = false}};
+  sim::Simulation sim;
+  // Hosts before the network: they must outlive it (Host lifetime contract).
+  GateHost alice(sim, 1);
+  GateHost bob(sim, 2);
+  Network network(sim, Rng(1), ConditionModel(spec, 2));
+  network.add_host(alice);
+  network.add_host(bob);
+
+  bool ok = true;
+  network.dial(alice.swarm().local_id(), bob.swarm().local_id(),
+               [&](bool success) { ok = success; });
+  sim.run();
+  EXPECT_FALSE(ok);  // everyone is in the refusing class
+  EXPECT_EQ(bob.swarm().open_count(), 0u);
+}
+
+TEST(ConditionModel, NetworkDropsMessagesUnderFullLoss) {
+  ConditionSpec spec;
+  spec.loss.message_loss = 1.0;
+  sim::Simulation sim;
+  GateHost alice(sim, 1);
+  GateHost bob(sim, 2);
+  Network network(sim, Rng(1), ConditionModel(spec, 2));
+  network.add_host(alice);
+  network.add_host(bob);
+
+  network.dial(alice.swarm().local_id(), bob.swarm().local_id());
+  sim.run();
+  ASSERT_TRUE(network.connected(alice.swarm().local_id(), bob.swarm().local_id()));
+  network.send(alice.swarm().local_id(), bob.swarm().local_id(),
+               Message{.protocol = "/test/1.0.0"});
+  sim.run();
+  EXPECT_EQ(bob.received, 0);
+}
+
+TEST(ConditionModel, NetworkOutageDropsInFlightMessages) {
+  // An already-connected pair stops exchanging messages while an outage
+  // covers one endpoint's zone — send() consults the path, not just the
+  // probabilistic loss gate.
+  ConditionSpec spec;
+  spec.zones = {{.name = "all", .weight = 1.0, .intra_min = 5, .intra_max = 30}};
+  spec.disturbances = {{.kind = DisturbanceSpec::Kind::kOutage,
+                        .zone = "all",
+                        .from = 1 * kHour,
+                        .until = 2 * kHour}};
+  ASSERT_EQ(ConditionSpec::validate(spec), std::nullopt);
+  sim::Simulation sim;
+  GateHost alice(sim, 1);
+  GateHost bob(sim, 2);
+  Network network(sim, Rng(1), ConditionModel(spec, 2));
+  network.add_host(alice);
+  network.add_host(bob);
+
+  network.dial(alice.swarm().local_id(), bob.swarm().local_id());
+  sim.run();  // connects well before the outage
+  ASSERT_TRUE(network.connected(alice.swarm().local_id(), bob.swarm().local_id()));
+
+  sim.run_until(1 * kHour + 1);  // inside the outage window
+  network.send(alice.swarm().local_id(), bob.swarm().local_id(),
+               Message{.protocol = "/test/1.0.0"});
+  sim.run();
+  EXPECT_EQ(bob.received, 0);
+
+  sim.run_until(2 * kHour + 1);  // window over: traffic flows again
+  network.send(alice.swarm().local_id(), bob.swarm().local_id(),
+               Message{.protocol = "/test/1.0.0"});
+  sim.run();
+  EXPECT_EQ(bob.received, 1);
+}
+
+TEST(ConditionSpec, ValidateRejectsProgrammaticMistakes) {
+  // The JSON corpus lives in tests/scenario/network_section_test.cpp;
+  // these are the same rules hit from C++-constructed specs.
+  ConditionSpec bad = zoned_spec();
+  bad.zones[1].weight = 0.0;
+  EXPECT_NE(ConditionSpec::validate(bad), std::nullopt);
+
+  bad = zoned_spec();
+  bad.links.push_back({.from = "na", .to = "eu", .min_one_way = 1, .max_one_way = 2});
+  ASSERT_TRUE(ConditionSpec::validate(bad).has_value());
+  EXPECT_NE(ConditionSpec::validate(bad)->find("duplicate link"), std::string::npos);
+
+  bad = zoned_spec();
+  bad.disturbances = {
+      {.kind = DisturbanceSpec::Kind::kOutage, .zone = "eu", .from = 0, .until = 10},
+      {.kind = DisturbanceSpec::Kind::kOutage, .zone = "eu", .from = 5, .until = 15},
+  };
+  ASSERT_TRUE(ConditionSpec::validate(bad).has_value());
+  EXPECT_NE(ConditionSpec::validate(bad)->find("overlaps"), std::string::npos);
+
+  bad = zoned_spec();
+  bad.disturbances = {{.kind = DisturbanceSpec::Kind::kPartition,
+                       .zones = {"eu", "na", "ap", "sa"},
+                       .from = 0,
+                       .until = 10}};
+  ASSERT_TRUE(ConditionSpec::validate(bad).has_value());
+  EXPECT_NE(ConditionSpec::validate(bad)->find("outside"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ipfs::net

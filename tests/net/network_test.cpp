@@ -32,17 +32,20 @@ struct TestHost : Host {
 class NetworkTest : public ::testing::Test {
  protected:
   NetworkTest()
-      : network(sim, common::Rng(1)), alice(sim, 1), bob(sim, 2), carol(sim, 3) {
+      : alice(sim, 1), bob(sim, 2), carol(sim, 3), network(sim, common::Rng(1)) {
     network.add_host(alice);
     network.add_host(bob);
     network.add_host(carol);
   }
 
   sim::Simulation sim;
-  Network network;
+  // Hosts are declared before the network so they outlive it (the Host
+  // lifetime contract): ~Network detaches its swarm taps through the
+  // still-alive hosts.
   TestHost alice;
   TestHost bob;
   TestHost carol;
+  Network network;
 };
 
 TEST_F(NetworkTest, DialCreatesMirroredConnections) {

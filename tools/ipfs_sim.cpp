@@ -100,7 +100,9 @@ std::optional<ScenarioSpec> load_scenario(const std::string& ref,
 int cmd_list(const std::vector<std::string>& args) {
   std::cout << "builtin scenarios:\n";
   for (const ScenarioSpec& spec : ScenarioSpec::builtins()) {
-    std::cout << "  " << spec.name << "\n      " << spec.description << "\n";
+    // Flag workloads that reshape the fabric itself (DESIGN.md §9).
+    std::cout << "  " << spec.name << (spec.network ? "  [conditions]" : "")
+              << "\n      " << spec.description << "\n";
   }
   const std::string dir = args.empty() ? "scenarios" : args[0];
   if (!fs::is_directory(dir)) {
