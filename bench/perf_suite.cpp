@@ -9,6 +9,8 @@
 //   event_queue  sim::Simulation schedule + drain churn
 //   conditions   net::ConditionModel sampling (zoned one-way latency and
 //                the composite dial gate) — the per-dial/per-send hot path
+//   churn_model  scenario::ChurnModel pure per-(node, session) draws
+//                (session lengths and diurnally modulated gaps)
 //   campaign     sequential vs. ParallelTrialRunner wall-clock for a
 //                multi-seed campaign sweep
 //
@@ -31,6 +33,7 @@
 #include "dht/routing_table.hpp"
 #include "net/conditions.hpp"
 #include "runtime/parallel.hpp"
+#include "scenario/churn.hpp"
 #include "sim/simulation.hpp"
 
 namespace {
@@ -219,6 +222,65 @@ ConditionNumbers bench_conditions(bool smoke) {
   return numbers;
 }
 
+// ---- churn_model: ChurnModel per-(node, session) sampling -------------------
+
+struct ChurnModelNumbers {
+  std::size_t samples = 0;
+  double session_ns = 0.0;  ///< per draw, Weibull session length
+  double gap_ns = 0.0;      ///< per draw, lognormal gap with diurnal modulation
+};
+
+ChurnModelNumbers bench_churn_model(bool smoke) {
+  // A representative churned-campaign spec: heavy-tailed Weibull sessions,
+  // lognormal gaps, a category override and diurnal modulation — every
+  // branch of the per-lifecycle-event sampling path is live.
+  ipfs::scenario::ChurnSpec spec;
+  ipfs::scenario::ChurnCategorySpec core;
+  core.category = ipfs::scenario::Category::kCoreServer;
+  core.session = ipfs::scenario::SessionDistribution::weibull(0.9, 86'400'000.0);
+  core.gap = ipfs::scenario::SessionDistribution::exponential(3'600'000.0);
+  spec.categories = {core};
+  spec.diurnal = ipfs::scenario::DiurnalSpec{
+      .amplitude = 0.7, .period = 24 * ipfs::common::kHour,
+      .phase = 12 * ipfs::common::kHour};
+  const ipfs::scenario::ChurnModel model(spec, 0xc402);
+
+  ChurnModelNumbers numbers;
+  numbers.samples = smoke ? 20'000 : 2'000'000;
+
+  std::uint64_t session_checksum = 0;
+  auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < numbers.samples; ++i) {
+    const auto node = static_cast<std::uint32_t>(i & 0x3fff);
+    const auto session = static_cast<std::uint32_t>(i >> 14);
+    session_checksum += static_cast<std::uint64_t>(model.session_length(
+        node, session,
+        (i & 7) != 0 ? ipfs::scenario::Category::kNormalUser
+                     : ipfs::scenario::Category::kCoreServer));
+  }
+  numbers.session_ns =
+      elapsed_ms(start) * 1e6 / static_cast<double>(numbers.samples);
+
+  std::uint64_t gap_checksum = 0;
+  start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < numbers.samples; ++i) {
+    const auto node = static_cast<std::uint32_t>(i & 0x3fff);
+    const auto session = static_cast<std::uint32_t>(i >> 14);
+    const auto at = static_cast<ipfs::common::SimTime>(i % (48 * 3600'000));
+    gap_checksum += static_cast<std::uint64_t>(model.gap_length(
+        node, session, at,
+        (i & 7) != 0 ? ipfs::scenario::Category::kNormalUser
+                     : ipfs::scenario::Category::kCoreServer));
+  }
+  numbers.gap_ns = elapsed_ms(start) * 1e6 / static_cast<double>(numbers.samples);
+
+  if (session_checksum == 0 || gap_checksum == 0) {
+    std::cerr << "churn_model checksum implausible\n";
+    std::exit(1);
+  }
+  return numbers;
+}
+
 // ---- campaign: sequential loop vs. ParallelTrialRunner ----------------------
 
 struct CampaignNumbers {
@@ -292,25 +354,30 @@ int main(int argc, char** argv) {
   ipfs::bench::print_header("Core performance suite",
                             "perf trajectory (BENCH_core.json), not a paper figure");
 
-  std::cout << "[1/4] lookup: RoutingTable::closest ...\n";
+  std::cout << "[1/5] lookup: RoutingTable::closest ...\n";
   const LookupNumbers lookup = bench_lookup(smoke);
   std::cout << "      table=" << lookup.table_size << " peers, "
             << lookup.closest_ns << " ns/query (sort-everything baseline: "
             << lookup.baseline_ns << " ns/query, "
             << lookup.baseline_ns / lookup.closest_ns << "x)\n";
 
-  std::cout << "[2/4] event queue: schedule + drain ...\n";
+  std::cout << "[2/5] event queue: schedule + drain ...\n";
   const EventQueueNumbers events = bench_event_queue(smoke);
   std::cout << "      " << events.events << " events, " << events.ns_per_event
             << " ns/event (" << 1e9 / events.ns_per_event << " events/s)\n";
 
-  std::cout << "[3/4] conditions: ConditionModel sampling ...\n";
+  std::cout << "[3/5] conditions: ConditionModel sampling ...\n";
   const ConditionNumbers conditions = bench_conditions(smoke);
   std::cout << "      " << conditions.samples << " samples, "
             << conditions.one_way_ns << " ns/one_way, " << conditions.gate_ns
             << " ns/dial_allowed\n";
 
-  std::cout << "[4/4] campaign: sequential vs parallel sweep ...\n";
+  std::cout << "[4/5] churn_model: ChurnModel sampling ...\n";
+  const ChurnModelNumbers churn = bench_churn_model(smoke);
+  std::cout << "      " << churn.samples << " samples, " << churn.session_ns
+            << " ns/session, " << churn.gap_ns << " ns/gap\n";
+
+  std::cout << "[5/5] campaign: sequential vs parallel sweep ...\n";
   const CampaignNumbers campaign = bench_campaign(smoke);
   std::cout << "      " << campaign.trials << " trials @ scale "
             << campaign.scale << ": sequential " << campaign.sequential_ms
@@ -346,6 +413,12 @@ int main(int argc, char** argv) {
   json.field("samples", static_cast<std::uint64_t>(conditions.samples));
   json.field("one_way_ns_per_sample", conditions.one_way_ns);
   json.field("dial_gate_ns_per_sample", conditions.gate_ns);
+  json.end_object();
+  json.key("churn_model");
+  json.begin_object();
+  json.field("samples", static_cast<std::uint64_t>(churn.samples));
+  json.field("session_ns_per_draw", churn.session_ns);
+  json.field("gap_ns_per_draw", churn.gap_ns);
   json.end_object();
   json.key("campaign");
   json.begin_object();

@@ -4,6 +4,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "common/json.hpp"
+
 namespace ipfs::measure {
 
 std::string_view to_string(DatasetRole role) noexcept {
@@ -37,6 +39,10 @@ void ReplaySink::on_run_begin(const std::string& description) {
 
 void ReplaySink::on_crawl(const CrawlObservation& crawl) { events_.push_back(crawl); }
 
+void ReplaySink::on_population(const PopulationSample& sample) {
+  events_.push_back(sample);
+}
+
 void ReplaySink::on_dataset(DatasetRole role, Dataset dataset) {
   events_.push_back(DatasetEvent{role, std::move(dataset)});
 }
@@ -52,6 +58,8 @@ void ReplaySink::replay(MeasurementSink& sink) {
             sink.on_run_begin(e.description);
           } else if constexpr (std::is_same_v<T, CrawlObservation>) {
             sink.on_crawl(e);
+          } else if constexpr (std::is_same_v<T, PopulationSample>) {
+            sink.on_population(e);
           } else if constexpr (std::is_same_v<T, DatasetEvent>) {
             sink.on_dataset(e.role, std::move(e.dataset));
           } else {
@@ -71,6 +79,10 @@ void FanOutSink::on_crawl(const CrawlObservation& crawl) {
   for (MeasurementSink* sink : sinks_) sink->on_crawl(crawl);
 }
 
+void FanOutSink::on_population(const PopulationSample& sample) {
+  for (MeasurementSink* sink : sinks_) sink->on_population(sample);
+}
+
 void FanOutSink::on_dataset(DatasetRole role, Dataset dataset) {
   if (sinks_.empty()) return;
   for (std::size_t i = 0; i + 1 < sinks_.size(); ++i) {
@@ -83,11 +95,36 @@ void FanOutSink::on_run_end(const RunSummary& summary) {
   for (MeasurementSink* sink : sinks_) sink->on_run_end(summary);
 }
 
+void JsonExportSink::on_population(const PopulationSample& sample) {
+  population_.push_back(sample);
+}
+
 void JsonExportSink::on_dataset(DatasetRole role, Dataset dataset) {
   if (options_.role_filter && *options_.role_filter != role) return;
   dataset.export_json(out_, options_.include_connections, options_.pretty);
   out_ << "\n";
   ++exported_;
+}
+
+void JsonExportSink::on_run_end(const RunSummary& summary) {
+  (void)summary;
+  if (population_.empty()) return;  // non-churned runs export nothing extra
+  common::JsonWriter writer(out_, options_.pretty);
+  writer.begin_object();
+  writer.key("population_samples");
+  writer.begin_array();
+  for (const PopulationSample& sample : population_) {
+    writer.begin_object();
+    writer.field("at_ms", static_cast<std::int64_t>(sample.at));
+    writer.field("online", static_cast<std::uint64_t>(sample.online));
+    writer.field("total", static_cast<std::uint64_t>(sample.total));
+    writer.field("connected", static_cast<std::uint64_t>(sample.connected));
+    writer.end_object();
+  }
+  writer.end_array();
+  writer.end_object();
+  out_ << "\n";
+  population_.clear();
 }
 
 }  // namespace ipfs::measure

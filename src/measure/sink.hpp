@@ -44,6 +44,18 @@ struct CrawlObservation {
   std::size_t learned_pids = 0;     ///< incl. stale routing-table entries
 };
 
+/// One sample of the true population state next to the vantage's view —
+/// published by campaign runs with a session-churn model engaged
+/// (scenario::ChurnModel, DESIGN.md §10).  This is the ground truth the
+/// paper never had: `analysis::observed_vs_true` compares it against the
+/// sessions reconstructed from the dataset.
+struct PopulationSample {
+  SimTime at = 0;
+  std::size_t online = 0;     ///< peers truly inside a session right now
+  std::size_t total = 0;      ///< full population size
+  std::size_t connected = 0;  ///< distinct peers with an open vantage connection
+};
+
 /// End-of-run bookkeeping, published after the last dataset.
 struct RunSummary {
   std::size_t population_size = 0;
@@ -52,14 +64,16 @@ struct RunSummary {
 
 /// Receives measurement output.  Hooks default to no-ops so sinks override
 /// only what they consume.  Within one run the call order is:
-/// `on_run_begin`, any number of `on_crawl` (in simulation-time order),
-/// then every `on_dataset`, then `on_run_end`.
+/// `on_run_begin`, any number of `on_crawl` / `on_population` (interleaved,
+/// each in simulation-time order), then every `on_dataset`, then
+/// `on_run_end`.
 class MeasurementSink {
  public:
   virtual ~MeasurementSink() = default;
 
   virtual void on_run_begin(const std::string& description) { (void)description; }
   virtual void on_crawl(const CrawlObservation& crawl) { (void)crawl; }
+  virtual void on_population(const PopulationSample& sample) { (void)sample; }
   virtual void on_dataset(DatasetRole role, Dataset dataset) {
     (void)role;
     (void)dataset;
@@ -79,6 +93,9 @@ class CollectingSink final : public MeasurementSink {
     description_ = description;
   }
   void on_crawl(const CrawlObservation& crawl) override { crawls_.push_back(crawl); }
+  void on_population(const PopulationSample& sample) override {
+    population_.push_back(sample);
+  }
   void on_dataset(DatasetRole role, Dataset dataset) override {
     datasets_.push_back({role, std::move(dataset)});
   }
@@ -87,6 +104,9 @@ class CollectingSink final : public MeasurementSink {
   [[nodiscard]] const std::string& description() const noexcept { return description_; }
   [[nodiscard]] const std::vector<CrawlObservation>& crawls() const noexcept {
     return crawls_;
+  }
+  [[nodiscard]] const std::vector<PopulationSample>& population() const noexcept {
+    return population_;
   }
   [[nodiscard]] const std::vector<Entry>& datasets() const noexcept {
     return datasets_;
@@ -99,6 +119,7 @@ class CollectingSink final : public MeasurementSink {
  private:
   std::string description_;
   std::vector<CrawlObservation> crawls_;
+  std::vector<PopulationSample> population_;
   std::vector<Entry> datasets_;
   RunSummary summary_;
 };
@@ -113,6 +134,7 @@ class ReplaySink final : public MeasurementSink {
  public:
   void on_run_begin(const std::string& description) override;
   void on_crawl(const CrawlObservation& crawl) override;
+  void on_population(const PopulationSample& sample) override;
   void on_dataset(DatasetRole role, Dataset dataset) override;
   void on_run_end(const RunSummary& summary) override;
 
@@ -130,7 +152,8 @@ class ReplaySink final : public MeasurementSink {
     DatasetRole role = DatasetRole::kOther;
     Dataset dataset;
   };
-  using Event = std::variant<BeginEvent, CrawlObservation, DatasetEvent, RunSummary>;
+  using Event = std::variant<BeginEvent, CrawlObservation, PopulationSample,
+                             DatasetEvent, RunSummary>;
 
   std::vector<Event> events_;
 };
@@ -147,6 +170,7 @@ class FanOutSink final : public MeasurementSink {
 
   void on_run_begin(const std::string& description) override;
   void on_crawl(const CrawlObservation& crawl) override;
+  void on_population(const PopulationSample& sample) override;
   void on_dataset(DatasetRole role, Dataset dataset) override;
   void on_run_end(const RunSummary& summary) override;
 
@@ -156,6 +180,11 @@ class FanOutSink final : public MeasurementSink {
 
 /// Streams datasets as JSON to an ostream the moment they are published —
 /// the sink equivalent of the paper's periodic JSON dumps (§III-A).
+/// Churned runs additionally publish ground-truth `PopulationSample`s;
+/// the sink buffers those and appends one `population_samples` document
+/// per run after the datasets, so CLI artifacts carry the
+/// observed-vs-true baseline too (runs without churn emit nothing extra
+/// — legacy exports stay byte-identical).
 class JsonExportSink final : public MeasurementSink {
  public:
   struct Options {
@@ -163,7 +192,8 @@ class JsonExportSink final : public MeasurementSink {
     /// Pretty-print the exported documents (scenario specs can opt for
     /// compact single-line output instead).
     bool pretty = true;
-    /// When set, only datasets with this role are exported.
+    /// When set, only datasets with this role are exported (population
+    /// samples are not datasets and are unaffected).
     std::optional<DatasetRole> role_filter;
   };
 
@@ -171,7 +201,9 @@ class JsonExportSink final : public MeasurementSink {
   JsonExportSink(std::ostream& out, Options options)
       : out_(out), options_(options) {}
 
+  void on_population(const PopulationSample& sample) override;
   void on_dataset(DatasetRole role, Dataset dataset) override;
+  void on_run_end(const RunSummary& summary) override;
 
   [[nodiscard]] std::size_t exported_count() const noexcept { return exported_; }
 
@@ -179,6 +211,7 @@ class JsonExportSink final : public MeasurementSink {
   std::ostream& out_;
   Options options_;
   std::size_t exported_ = 0;
+  std::vector<PopulationSample> population_;  ///< buffered until run end
 };
 
 }  // namespace ipfs::measure

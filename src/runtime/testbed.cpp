@@ -1,5 +1,6 @@
 #include "runtime/testbed.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -11,6 +12,7 @@ constexpr std::uint64_t kNetworkBranch = 0x6e21;
 constexpr std::uint64_t kAddressBranch = 0x1bad;
 constexpr std::uint64_t kEntityBranch = 0x1d5e;
 constexpr std::uint64_t kConditionsBranch = 0x2c0d;
+constexpr std::uint64_t kChurnBranch = 0xc402;
 }  // namespace
 
 // ---- NodeHandle ------------------------------------------------------------
@@ -53,12 +55,17 @@ void NodeHandle::stop() const { node().stop(); }
 
 // ---- Testbed ---------------------------------------------------------------
 
-Testbed::Testbed(std::uint64_t seed, net::ConditionSpec conditions)
+Testbed::Testbed(std::uint64_t seed, net::ConditionSpec conditions,
+                 std::optional<scenario::ChurnSpec> churn)
     : seed_(seed),
       network_(simulation_, common::Rng(common::mix64(seed, kNetworkBranch)),
                net::ConditionModel(std::move(conditions),
                                    common::mix64(seed, kConditionsBranch))),
-      ips_(common::Rng(common::mix64(seed, kAddressBranch))) {}
+      ips_(common::Rng(common::mix64(seed, kAddressBranch))) {
+  if (churn) {
+    churn_model_.emplace(std::move(*churn), common::mix64(seed, kChurnBranch));
+  }
+}
 
 common::Rng Testbed::entity_rng(std::uint64_t label) noexcept {
   return common::Rng(
@@ -120,6 +127,58 @@ crawler::Crawler& Testbed::add_crawler(crawler::CrawlerConfig config) {
       net::swarm_tcp_addr(ips_.unique_v4()), std::move(config)));
   crawlers_.back()->start();
   return *crawlers_.back();
+}
+
+Testbed& Testbed::churn(NodeHandle handle) {
+  if (!churn_model_) return *this;  // no model declared on the builder
+  Entry& entry = entries_.at(handle.index_);
+  if (entry.churned) return *this;
+  entry.churned = true;
+  const auto index = handle.index_;
+  const auto node = static_cast<std::uint32_t>(index);
+  if (churn_model_->initially_online(node)) {
+    // The node is already started (add_node starts it); session 0 begins
+    // now and the first leave lands one session length out.
+    schedule_churn_session(index, 0, 0);
+  } else {
+    entry.node->stop();
+    schedule_churn_session(
+        index, 0,
+        std::max<common::SimDuration>(
+            churn_model_->gap_length(node, 0, simulation_.now()),
+            common::kSecond));
+  }
+  return *this;
+}
+
+Testbed& Testbed::churn_all_except(NodeHandle vantage) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (i != vantage.index_) churn(NodeHandle(*this, i));
+  }
+  return *this;
+}
+
+void Testbed::schedule_churn_session(std::size_t index, std::uint32_t session,
+                                     common::SimDuration delay) {
+  // Join (unless already up for session 0), stay one drawn session length,
+  // leave, and come back after a drawn gap.  Every length is a pure
+  // function of (node index, session, testbed seed) — DESIGN.md §5/§10.
+  simulation_.schedule_after(delay, [this, index, session] {
+    node::GoIpfsNode& node = *entries_[index].node;
+    node.start();  // no-op when already started (session 0, initially online)
+    const auto node_id = static_cast<std::uint32_t>(index);
+    const auto length = std::max<common::SimDuration>(
+        churn_model_->session_length(node_id, session), common::kSecond);
+    simulation_.schedule_after(length, [this, index, session] {
+      node::GoIpfsNode& node = *entries_[index].node;
+      node.stop();  // remotes observe kPeerOffline; entries go stale
+      const auto node_id = static_cast<std::uint32_t>(index);
+      const auto gap = std::max<common::SimDuration>(
+          churn_model_->gap_length(node_id, session + 1, simulation_.now()),
+          common::kSecond);
+      schedule_churn_session(index, session + 1, gap);
+    });
+  });
 }
 
 Testbed& Testbed::run_for(common::SimDuration duration) {

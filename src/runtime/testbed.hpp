@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "crawler/crawler.hpp"
@@ -26,6 +27,7 @@
 #include "net/ip_allocator.hpp"
 #include "net/network.hpp"
 #include "node/go_ipfs_node.hpp"
+#include "scenario/churn.hpp"
 #include "sim/simulation.hpp"
 
 namespace ipfs::runtime {
@@ -95,6 +97,18 @@ class Testbed {
   /// Add a started active crawler (nebula-style baseline).
   crawler::Crawler& add_crawler(crawler::CrawlerConfig config = {});
 
+  /// Drive `handle` with the builder's session-churn model
+  /// (`TestbedBuilder::churn`): leaves call `GoIpfsNode::stop()` — remotes
+  /// observe peer-offline closes, routing-table entries go genuinely stale
+  /// — and rejoins restart the node with its PeerId intact.  Draws are
+  /// pure per (node index, session), so two equally seeded testbeds churn
+  /// identically.  No-op when the builder declared no churn model.
+  Testbed& churn(NodeHandle handle);
+
+  /// `churn()` for every node except `vantage` (the measuring node stays
+  /// up, as the paper's did).
+  Testbed& churn_all_except(NodeHandle vantage);
+
   // ---- execution -----------------------------------------------------------
 
   Testbed& run_for(common::SimDuration duration);
@@ -118,13 +132,18 @@ class Testbed {
   friend class TestbedBuilder;
   friend class NodeHandle;
 
-  Testbed(std::uint64_t seed, net::ConditionSpec conditions);
+  Testbed(std::uint64_t seed, net::ConditionSpec conditions,
+          std::optional<scenario::ChurnSpec> churn);
 
   struct Entry {
     std::unique_ptr<node::GoIpfsNode> node;
     std::unique_ptr<measure::Recorder> recorder;
     bool bootstrapped = false;
+    bool churned = false;
   };
+
+  void schedule_churn_session(std::size_t index, std::uint32_t session,
+                              common::SimDuration delay);
 
   /// Deterministic per-entity generator: depends only on the testbed seed
   /// and the entity's creation index, never on call interleaving.
@@ -134,6 +153,7 @@ class Testbed {
   sim::Simulation simulation_;
   net::Network network_;
   net::IpAllocator ips_;
+  std::optional<scenario::ChurnModel> churn_model_;
   std::uint64_t next_entity_ = 0;
   std::vector<Entry> entries_;
   std::vector<std::unique_ptr<hydra::HydraNode>> hydras_;
@@ -166,11 +186,25 @@ class TestbedBuilder {
     return *this;
   }
 
-  [[nodiscard]] Testbed build() const { return Testbed(seed_, conditions_); }
+  /// Session-churn description for nodes registered with
+  /// `Testbed::churn(...)` (scenario/churn.hpp, DESIGN.md §10).  Seeded
+  /// from the testbed seed like the condition model.  Testbed nodes have
+  /// no population `Category`, so only the spec's top-level `session` /
+  /// `gap` distributions (and `diurnal` / `initial_online`) apply here;
+  /// per-category overrides take effect in campaign runs only.
+  TestbedBuilder& churn(scenario::ChurnSpec spec) {
+    churn_ = std::move(spec);
+    return *this;
+  }
+
+  [[nodiscard]] Testbed build() const {
+    return Testbed(seed_, conditions_, churn_);
+  }
 
  private:
   std::uint64_t seed_ = 20211203;
   net::ConditionSpec conditions_{};
+  std::optional<scenario::ChurnSpec> churn_;
 };
 
 }  // namespace ipfs::runtime

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/stats.hpp"
 #include "common/version.hpp"
@@ -87,7 +88,9 @@ namespace {
 /// The address a peer dials from right now (dual-homed peers alternate).
 p2p::Multiaddr dial_address(const RemotePeer& peer, common::Rng& prng) {
   const p2p::IpAddress ip =
-      (peer.has_alt_ip && prng.bernoulli(0.35)) ? peer.alt_ip : peer.ip;
+      (peer.has_alt_ip && prng.bernoulli(kDualHomeAlternateProbability))
+          ? peer.alt_ip
+          : peer.ip;
   return p2p::Multiaddr{ip, p2p::Transport::kTcp, peer.port};
 }
 }  // namespace
@@ -102,6 +105,10 @@ std::pair<std::size_t, std::size_t> CampaignResult::crawler_min_max() const {
 
 void CampaignResultSink::on_crawl(const measure::CrawlObservation& crawl) {
   result_.crawls.push_back(crawl);
+}
+
+void CampaignResultSink::on_population(const measure::PopulationSample& sample) {
+  result_.population_samples.push_back(sample);
 }
 
 void CampaignResultSink::on_dataset(measure::DatasetRole role,
@@ -135,6 +142,12 @@ struct CampaignEngine::Impl {
       // Seeded off the campaign seed directly (not the rng stream) so that
       // engaging the section never shifts any other RNG-tree branch.
       conditions.emplace(*config.conditions, common::mix64(config.seed, 0x2c0de));
+    }
+    if (config.churn) {
+      // Same principle as `conditions`: the lifecycle model hangs off the
+      // campaign seed directly, so engaging it only replaces the session
+      // scheduling branch and shifts nothing else.
+      churn.emplace(*config.churn, common::mix64(config.seed, 0xc4021));
     }
   }
 
@@ -172,6 +185,7 @@ struct CampaignEngine::Impl {
     bool online = false;
     SimTime session_end = 0;
     SimTime last_online = -common::kDay;  ///< for stale routing entries
+    std::uint32_t session_index = 0;      ///< sessions started (churn mode)
   };
 
   // ---- setup -------------------------------------------------------------
@@ -256,6 +270,13 @@ struct CampaignEngine::Impl {
   // ---- session machinery ---------------------------------------------------
 
   void schedule_population() {
+    if (churn) {
+      // The lifecycle model replaces the static per-category session
+      // machinery wholesale: every peer — always-on categories included —
+      // joins and leaves on the simulation clock (DESIGN.md §10).
+      schedule_churned_population();
+      return;
+    }
     common::Rng srng = rng.child(0x5e5);
     for (const RemotePeer& peer : population.peers()) {
       const CategoryParams& params = config.population.params(peer.category);
@@ -308,6 +329,85 @@ struct CampaignEngine::Impl {
               params.mean_gap, kMinute))));
       schedule_recurring_session(index, length + gap);
     });
+  }
+
+  // ---- churned lifecycle (DESIGN.md §10) -----------------------------------
+  //
+  // Every draw below is a pure function of (peer, session-index, campaign
+  // seed): the model derives a fresh generator per draw, and the only other
+  // input — the time a gap starts — is itself deterministic under the same
+  // seed.  Session teardown rides the existing machinery: connections
+  // opened during a session were scheduled to close no later than
+  // `state.session_end`, so a departing peer's links die with it and the
+  // vantage attributes them to `kPeerOffline`.
+
+  void schedule_churned_population() {
+    for (const RemotePeer& peer : population.peers()) {
+      const std::uint32_t index = peer.index;
+      if (churn->initially_online(index)) {
+        // Spread the initial joins over the first 10 minutes (pure hash)
+        // so the vantage's connection table fills the way a freshly
+        // bootstrapped node's does rather than in one burst.
+        const auto offset = static_cast<SimDuration>(
+            common::mix64(common::mix64(config.seed, 0x0ff5e7), index) %
+            static_cast<std::uint64_t>(10 * kMinute));
+        schedule_churn_session(index, offset);
+      } else {
+        const auto gap = std::max<SimDuration>(
+            churn->gap_length(index, 0, 0, peer.category), kMinute);
+        schedule_churn_session(index, gap);
+      }
+    }
+  }
+
+  void schedule_churn_session(std::uint32_t index, SimDuration delay) {
+    simulation.schedule_after(delay, [this, index] {
+      if (simulation.now() >= config.period.duration) return;
+      PeerState& state = peer_states[index];
+      const std::uint32_t session = state.session_index++;
+      RemotePeer& peer = population.peers()[index];
+      // Rejoining peers keep their PeerId but may come back from their
+      // other IP — the §V-A dual-homing rules applied per session (the
+      // per-connection alternation still applies on top).
+      if (peer.has_alt_ip && churn->redraw_address(index, session)) {
+        std::swap(peer.ip, peer.alt_ip);
+      }
+      const auto length = std::max<SimDuration>(
+          churn->session_length(index, session, peer.category), 30 * kSecond);
+      start_session(index, simulation.now() + length);
+      // The next cycle: this session plus the following offline gap, with
+      // diurnal modulation evaluated where the gap begins.
+      const auto gap = std::max<SimDuration>(
+          churn->gap_length(index, session + 1, simulation.now() + length,
+                            peer.category),
+          kMinute);
+      schedule_churn_session(index, length + gap);
+    });
+  }
+
+  /// Publish one `measure::PopulationSample` per sample interval: the
+  /// ground truth (who is truly in-session) next to the vantage's view
+  /// (who is currently connected) — the observed-vs-true baseline the
+  /// paper could never record.
+  void schedule_population_samples(measure::MeasurementSink& sink) {
+    if (!churn) return;
+    population_task = simulation.schedule_every(
+        churn->spec().sample_interval, [this, &sink] {
+          measure::PopulationSample sample;
+          sample.at = simulation.now();
+          sample.total = population.peers().size();
+          for (const PeerState& state : peer_states) {
+            if (state.online) ++sample.online;
+          }
+          std::unordered_set<std::uint32_t> connected;
+          for (const Vantage& vantage : vantages) {
+            for (const auto& [conn_id, meta] : vantage.conns) {
+              connected.insert(meta.peer);
+            }
+          }
+          sample.connected = connected.size();
+          sink.on_population(sample);
+        });
   }
 
   [[nodiscard]] common::Rng peer_rng(std::uint32_t index) {
@@ -884,13 +984,17 @@ struct CampaignEngine::Impl {
     schedule_server_outbound();
     schedule_gossip();
     schedule_crawler(sink);
+    schedule_population_samples(sink);
     schedule_metadata_dynamics();
 
     simulation.run_until(config.period.duration);
-    // The crawler lambda holds a reference to `sink`, which dies with this
-    // call; cancel it so manual post-run stepping cannot fire it.
+    // The crawler and population-sample lambdas hold references to `sink`,
+    // which dies with this call; cancel them so manual post-run stepping
+    // cannot fire them.
     simulation.cancel(crawler_task);
     crawler_task = sim::kInvalidTask;
+    simulation.cancel(population_task);
+    population_task = sim::kInvalidTask;
 
     for (Vantage& vantage : vantages) {
       vantage.recorder->finish();
@@ -927,6 +1031,7 @@ struct CampaignEngine::Impl {
   sim::Simulation simulation;
   Population population;
   std::optional<net::ConditionModel> conditions;
+  std::optional<ChurnModel> churn;
   std::vector<Vantage> vantages;
   std::vector<PeerState> peer_states;
   std::vector<std::uint8_t> maintained_flags;
@@ -934,6 +1039,7 @@ struct CampaignEngine::Impl {
   std::vector<std::uint32_t> online_servers;
   std::unordered_map<std::uint32_t, std::size_t> server_pos;
   sim::TaskId crawler_task = sim::kInvalidTask;
+  sim::TaskId population_task = sim::kInvalidTask;
 };
 
 std::optional<std::string> CampaignEngine::validate(const CampaignConfig& config) {
@@ -964,6 +1070,9 @@ std::optional<std::string> CampaignEngine::validate(const CampaignConfig& config
   }
   if (config.conditions) {
     if (auto error = net::ConditionSpec::validate(*config.conditions)) return error;
+  }
+  if (config.churn) {
+    if (auto error = ChurnSpec::validate(*config.churn)) return error;
   }
   return std::nullopt;
 }

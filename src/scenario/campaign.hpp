@@ -29,6 +29,7 @@
 #include "measure/recorder.hpp"
 #include "measure/sink.hpp"
 #include "net/conditions.hpp"
+#include "scenario/churn.hpp"
 #include "scenario/period.hpp"
 #include "scenario/population.hpp"
 #include "sim/simulation.hpp"
@@ -65,6 +66,17 @@ struct CampaignConfig {
   /// behaviour bit-for-bit identical to the pre-conditions code path
   /// (enforced by tests/integration/golden_determinism_test.cpp).
   std::optional<net::ConditionSpec> conditions;
+
+  /// Optional session-level churn model (scenario/churn.hpp, DESIGN.md
+  /// §10): per-category session/intersession distributions plus diurnal
+  /// modulation, driving first-class join/leave events for *every*
+  /// category.  Engaged, it replaces the static per-category session
+  /// machinery — peers genuinely arrive and depart on the simulation
+  /// clock, and the engine publishes `measure::PopulationSample`s (the
+  /// observed-vs-true baseline).  nullopt leaves the engine's behaviour
+  /// bit-for-bit identical to the pre-churn code path (hash-pinned by
+  /// tests/integration/golden_determinism_test.cpp).
+  std::optional<ChurnSpec> churn;
 };
 
 /// Datasets and baselines produced by a campaign run (the all-in-memory
@@ -74,6 +86,8 @@ struct CampaignResult {
   std::vector<measure::Dataset> hydra_heads;
   std::optional<measure::Dataset> hydra_union;
   std::vector<CrawlSnapshot> crawls;
+  /// True-population samples (churned campaigns only; empty otherwise).
+  std::vector<measure::PopulationSample> population_samples;
 
   std::size_t population_size = 0;
   std::size_t events_executed = 0;
@@ -87,6 +101,7 @@ struct CampaignResult {
 class CampaignResultSink final : public measure::MeasurementSink {
  public:
   void on_crawl(const measure::CrawlObservation& crawl) override;
+  void on_population(const measure::PopulationSample& sample) override;
   void on_dataset(measure::DatasetRole role, measure::Dataset dataset) override;
   void on_run_end(const measure::RunSummary& summary) override;
 

@@ -562,6 +562,130 @@ ParseError parse_network(const JsonValue& value, const std::string& path,
   return std::nullopt;
 }
 
+// ---- the "churn" section (scenario::ChurnSpec) ------------------------------
+
+ParseError parse_distribution(const JsonValue& value, const std::string& path,
+                              SessionDistribution& distribution) {
+  if (auto error = expect_object(value, path)) return error;
+  std::string kind;
+  if (auto e = get_string(value, "kind", path, kind)) return e;
+  const auto parsed_kind = distribution_kind_from_string(kind);
+  if (!parsed_kind) {
+    return join(path, "kind") +
+           ": expected \"exponential\", \"weibull\" or \"lognormal\"";
+  }
+  // Key sets are per kind, so e.g. a weibull `shape` on an exponential is
+  // a typo caught at validate time, not silently ignored.
+  SessionDistribution parsed;
+  parsed.kind = *parsed_kind;
+  switch (parsed.kind) {
+    case SessionDistribution::Kind::kExponential:
+      if (auto error = check_keys(value, path, {"kind", "mean_ms"})) return error;
+      if (auto e = get_double(value, "mean_ms", path, parsed.mean_ms)) return e;
+      break;
+    case SessionDistribution::Kind::kWeibull:
+      if (auto error = check_keys(value, path, {"kind", "shape", "scale_ms"})) {
+        return error;
+      }
+      if (auto e = get_double(value, "shape", path, parsed.shape)) return e;
+      if (auto e = get_double(value, "scale_ms", path, parsed.scale_ms)) return e;
+      break;
+    case SessionDistribution::Kind::kLognormal:
+      if (auto error = check_keys(value, path, {"kind", "median_ms", "sigma"})) {
+        return error;
+      }
+      if (auto e = get_double(value, "median_ms", path, parsed.median_ms)) return e;
+      if (auto e = get_double(value, "sigma", path, parsed.sigma)) return e;
+      break;
+  }
+  distribution = parsed;
+  return std::nullopt;
+}
+
+ParseError parse_churn(const JsonValue& value, const std::string& path,
+                       ChurnSpec& churn) {
+  if (auto error = expect_object(value, path)) return error;
+  if (auto error = check_keys(value, path,
+                              {"session", "gap", "initial_online",
+                               "sample_interval_ms", "diurnal", "categories"})) {
+    return error;
+  }
+  if (const JsonValue* session = value.find("session")) {
+    if (auto error = parse_distribution(*session, join(path, "session"),
+                                        churn.session)) {
+      return error;
+    }
+  }
+  if (const JsonValue* gap = value.find("gap")) {
+    if (auto error = parse_distribution(*gap, join(path, "gap"), churn.gap)) {
+      return error;
+    }
+  }
+  if (auto e = get_double(value, "initial_online", path, churn.initial_online)) {
+    return e;
+  }
+  if (auto e = get_duration_ms(value, "sample_interval_ms", path,
+                               churn.sample_interval)) {
+    return e;
+  }
+  if (const JsonValue* diurnal = value.find("diurnal")) {
+    const std::string diurnal_path = join(path, "diurnal");
+    if (auto error = expect_object(*diurnal, diurnal_path)) return error;
+    if (auto error = check_keys(*diurnal, diurnal_path,
+                                {"amplitude", "period_ms", "phase_ms"})) {
+      return error;
+    }
+    DiurnalSpec parsed;
+    if (auto e = get_double(*diurnal, "amplitude", diurnal_path,
+                            parsed.amplitude)) {
+      return e;
+    }
+    if (auto e = get_duration_ms(*diurnal, "period_ms", diurnal_path,
+                                 parsed.period)) {
+      return e;
+    }
+    if (auto e = get_duration_ms(*diurnal, "phase_ms", diurnal_path,
+                                 parsed.phase)) {
+      return e;
+    }
+    churn.diurnal = parsed;
+  }
+  if (const JsonValue* categories = value.find("categories")) {
+    const std::string categories_path = join(path, "categories");
+    if (auto error = expect_object(*categories, categories_path)) return error;
+    for (const JsonValue::Member& member : categories->as_object()) {
+      const auto category = category_from_string(member.first);
+      if (!category) {
+        return categories_path + ": unknown category name '" + member.first + "'";
+      }
+      const std::string entry_path = join(categories_path, member.first);
+      if (auto error = expect_object(member.second, entry_path)) return error;
+      if (auto error = check_keys(member.second, entry_path, {"session", "gap"})) {
+        return error;
+      }
+      ChurnCategorySpec entry;
+      entry.category = *category;
+      // Absent fields inherit the spec's top-level distributions.
+      entry.session = churn.session;
+      entry.gap = churn.gap;
+      if (const JsonValue* session = member.second.find("session")) {
+        if (auto error = parse_distribution(*session, join(entry_path, "session"),
+                                            entry.session)) {
+          return error;
+        }
+      }
+      if (const JsonValue* gap = member.second.find("gap")) {
+        if (auto error = parse_distribution(*gap, join(entry_path, "gap"),
+                                            entry.gap)) {
+          return error;
+        }
+      }
+      churn.categories.push_back(std::move(entry));
+    }
+  }
+  return std::nullopt;
+}
+
 ParseError parse_campaign(const JsonValue& value, const std::string& path,
                           CampaignSettings& campaign) {
   if (auto error = expect_object(value, path)) return error;
@@ -946,6 +1070,59 @@ ScenarioSpec builtin_zone_partition() {
   return spec;
 }
 
+/// Session-level churn driven hard enough to dominate the dataset: every
+/// category — the always-on core included — joins and leaves on
+/// heavy-tailed Weibull sessions (DESIGN.md §10).
+ScenarioSpec builtin_churn_baseline() {
+  ScenarioSpec spec = make_builtin(
+      "churn-baseline",
+      "Session-level churn for every category: Weibull(0.55) ~2 h sessions "
+      "with lognormal ~2 h gaps, core servers churning an order of "
+      "magnitude slower; the vantage observes genuine first/last-seen "
+      "session traces and the engine publishes observed-vs-true "
+      "population samples",
+      period_conditions("CHURN-BASELINE"));
+  ChurnSpec churn;  // the defaults are the showcase
+  // The stable backbone churns too, just far slower — routing-table
+  // staleness becomes real without the network falling over.
+  ChurnCategorySpec core_server;
+  core_server.category = Category::kCoreServer;
+  core_server.session = SessionDistribution::weibull(0.9, 86'400'000.0);
+  core_server.gap = SessionDistribution::exponential(3'600'000.0);
+  ChurnCategorySpec hydra;
+  hydra.category = Category::kHydra;
+  hydra.session = SessionDistribution::weibull(0.9, 86'400'000.0);
+  hydra.gap = SessionDistribution::exponential(1'800'000.0);
+  churn.categories = {core_server, hydra};
+  spec.churn = std::move(churn);
+  return spec;
+}
+
+/// Diurnal churn: exponential sessions with lognormal gaps whose rejoin
+/// rate swings by ±80 % over a 24 h cycle — availability-over-time shows
+/// the day/night wave of user-operated nodes.
+ScenarioSpec builtin_diurnal_churn() {
+  PeriodSpec period = period_conditions("DIURNAL-CHURN");
+  period.duration = 2 * kDay;
+  ScenarioSpec spec = make_builtin(
+      "diurnal-churn",
+      "Two days of diurnally modulated churn: ~5 h exponential sessions, "
+      "lognormal ~3 h gaps, rejoin rate swinging +/-80% over a 24 h cycle "
+      "peaking at noon — availability-over-time traces the day/night wave",
+      period);
+  ChurnSpec churn;
+  churn.session = SessionDistribution::exponential(18'000'000.0);
+  churn.gap = SessionDistribution::lognormal(10'800'000.0, 1.0);
+  churn.initial_online = 0.5;
+  DiurnalSpec diurnal;
+  diurnal.amplitude = 0.8;
+  diurnal.period = 24 * kHour;
+  diurnal.phase = 12 * kHour;
+  churn.diurnal = diurnal;
+  spec.churn = std::move(churn);
+  return spec;
+}
+
 }  // namespace
 
 // ---- (de)serialisation ------------------------------------------------------
@@ -960,7 +1137,7 @@ std::expected<ScenarioSpec, std::string> ScenarioSpec::from_json(
   }
   if (auto error = check_keys(root, "document",
                               {"name", "description", "period", "population",
-                               "network", "campaign", "output"})) {
+                               "network", "churn", "campaign", "output"})) {
     return std::unexpected(std::move(*error));
   }
 
@@ -984,6 +1161,12 @@ std::expected<ScenarioSpec, std::string> ScenarioSpec::from_json(
   if (const JsonValue* network = root.find("network")) {
     spec.network.emplace();
     if (auto error = parse_network(*network, "network", *spec.network)) {
+      return std::unexpected(std::move(*error));
+    }
+  }
+  if (const JsonValue* churn = root.find("churn")) {
+    spec.churn.emplace();
+    if (auto error = parse_churn(*churn, "churn", *spec.churn)) {
       return std::unexpected(std::move(*error));
     }
   }
@@ -1187,6 +1370,59 @@ void ScenarioSpec::to_json(JsonWriter& writer) const {
     writer.end_object();
   }
 
+  // The "churn" section is likewise written only when engaged: pre-churn
+  // scenario files must keep exporting byte-identically.
+  if (churn) {
+    const auto write_distribution = [&writer](const SessionDistribution& d) {
+      writer.begin_object();
+      writer.field("kind", to_string(d.kind));
+      switch (d.kind) {
+        case SessionDistribution::Kind::kExponential:
+          writer.field("mean_ms", d.mean_ms);
+          break;
+        case SessionDistribution::Kind::kWeibull:
+          writer.field("shape", d.shape);
+          writer.field("scale_ms", d.scale_ms);
+          break;
+        case SessionDistribution::Kind::kLognormal:
+          writer.field("median_ms", d.median_ms);
+          writer.field("sigma", d.sigma);
+          break;
+      }
+      writer.end_object();
+    };
+    writer.key("churn");
+    writer.begin_object();
+    writer.key("session");
+    write_distribution(churn->session);
+    writer.key("gap");
+    write_distribution(churn->gap);
+    writer.field("initial_online", churn->initial_online);
+    writer.field("sample_interval_ms",
+                 static_cast<std::int64_t>(churn->sample_interval));
+    if (churn->diurnal) {
+      writer.key("diurnal");
+      writer.begin_object();
+      writer.field("amplitude", churn->diurnal->amplitude);
+      writer.field("period_ms", static_cast<std::int64_t>(churn->diurnal->period));
+      writer.field("phase_ms", static_cast<std::int64_t>(churn->diurnal->phase));
+      writer.end_object();
+    }
+    writer.key("categories");
+    writer.begin_object();
+    for (const ChurnCategorySpec& entry : churn->categories) {
+      writer.key(to_string(entry.category));
+      writer.begin_object();
+      writer.key("session");
+      write_distribution(entry.session);
+      writer.key("gap");
+      write_distribution(entry.gap);
+      writer.end_object();
+    }
+    writer.end_object();
+    writer.end_object();
+  }
+
   writer.key("campaign");
   writer.begin_object();
   writer.field("seed", campaign.seed);
@@ -1279,6 +1515,7 @@ CampaignConfig ScenarioSpec::to_campaign_config() const {
   config.enable_metadata_dynamics = campaign.enable_metadata_dynamics;
   config.client_dials_per_hour = campaign.client_dials_per_hour;
   config.conditions = network;
+  config.churn = churn;
   return config;
 }
 
@@ -1332,6 +1569,8 @@ const std::vector<ScenarioSpec>& ScenarioSpec::builtins() {
     all.push_back(builtin_geo_zones());
     all.push_back(builtin_flaky_links());
     all.push_back(builtin_zone_partition());
+    all.push_back(builtin_churn_baseline());
+    all.push_back(builtin_diurnal_churn());
     return all;
   }();
   return kBuiltins;

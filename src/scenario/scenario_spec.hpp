@@ -34,6 +34,7 @@
 #include "measure/sink.hpp"
 #include "net/conditions.hpp"
 #include "scenario/campaign.hpp"
+#include "scenario/churn.hpp"
 #include "scenario/period.hpp"
 #include "scenario/population_spec.hpp"
 
@@ -89,6 +90,11 @@ struct ScenarioSpec {
   /// (the section is also omitted from `to_json`, so pre-conditions
   /// scenario files round-trip unchanged).
   std::optional<net::ConditionSpec> network;
+  /// The optional `"churn"` section: a session-level lifecycle model
+  /// (scenario/churn.hpp) — per-category session/intersession
+  /// distributions and diurnal modulation.  Absent, the static session
+  /// machinery runs unchanged (byte-for-byte; omitted from `to_json`).
+  std::optional<ChurnSpec> churn;
   CampaignSettings campaign;
   OutputSettings output;
 

@@ -1,13 +1,17 @@
-// Golden determinism pins for the condition-model PR.
+// Golden determinism pins for the condition-model and session-churn
+// subsystems.
 //
-// 1. Scenarios *without* a `"network"` section must produce campaign
-//    exports byte-identical to the pre-conditions code (the hashes below
-//    were recorded at the commit immediately before `net::ConditionModel`
-//    landed).  If one of these ever changes, the flat fabric drifted —
-//    that is a determinism regression, not a constant to refresh.
-// 2. An engaged-but-default section must match an absent one exactly.
-// 3. A conditioned scenario must stay byte-identical across worker counts
-//    through `runtime::ParallelTrialRunner`.
+// 1. Scenarios *without* a `"network"` or `"churn"` section must produce
+//    campaign exports byte-identical to the pre-subsystem code (the hashes
+//    below were recorded at the commits immediately before
+//    `net::ConditionModel` / `scenario::ChurnModel` landed).  If one of
+//    these ever changes, the legacy path drifted — that is a determinism
+//    regression, not a constant to refresh.
+// 2. An engaged-but-default network section must match an absent one
+//    exactly.
+// 3. Conditioned and churned scenarios must stay byte-identical across
+//    worker counts through `runtime::ParallelTrialRunner`, and the churned
+//    export itself is hash-pinned.
 #include <gtest/gtest.h>
 
 #include <sstream>
@@ -17,26 +21,15 @@
 #include "runtime/parallel.hpp"
 #include "scenario/campaign.hpp"
 #include "scenario/scenario_spec.hpp"
+#include "testing/campaign.hpp"
 
 namespace ipfs::scenario {
 namespace {
 
+using testing::run_builtin;
+using testing::run_to_json;
+
 constexpr double kScale = 0.002;  // the CI smoke scale; minutes -> seconds
-
-std::string run_to_json(const CampaignConfig& config) {
-  auto engine = CampaignEngine::create(config);
-  EXPECT_TRUE(engine.has_value()) << engine.error();
-  std::ostringstream out;
-  measure::JsonExportSink sink(out);
-  engine->run(sink);
-  return out.str();
-}
-
-std::string run_builtin(const char* name, double scale) {
-  ScenarioSpec spec = *ScenarioSpec::builtin(name);
-  spec.population.scale = scale;
-  return run_to_json(spec.to_campaign_config());
-}
 
 TEST(GoldenDeterminism, CampaignExportsMatchPreConditionsHashes) {
   // FNV-1a (common::hash64) of the JSON export of each Table I period at
@@ -94,28 +87,44 @@ TEST(GoldenDeterminism, GeoZonesLatencyMatrixIsLiveInCampaigns) {
             run_to_json(slow.to_campaign_config()));
 }
 
+TEST(GoldenDeterminism, ChurnedScenarioActuallyChangesOutput) {
+  // Sanity for the churn subsystem: churn-baseline with its section
+  // stripped must differ from the real thing (otherwise the lifecycle
+  // engine is dead code).
+  ScenarioSpec spec = *ScenarioSpec::builtin("churn-baseline");
+  spec.population.scale = kScale;
+  ScenarioSpec stripped = spec;
+  stripped.churn.reset();
+  EXPECT_NE(run_to_json(spec.to_campaign_config()),
+            run_to_json(stripped.to_campaign_config()));
+}
+
+TEST(GoldenDeterminism, ChurnedExportMatchesPinnedHash) {
+  // FNV-1a (common::hash64) of the churn-baseline export at scale 0.002,
+  // default seed — the vantage dataset plus the trailing
+  // population_samples document — recorded when scenario::ChurnModel
+  // landed.  The churned lifecycle is pure per (peer, session, seed), so
+  // this must never move — across worker counts or rebuilds.
+  const std::string exported = run_builtin("churn-baseline", kScale);
+  ASSERT_FALSE(exported.empty());
+  EXPECT_EQ(common::hash64(exported), 0x99fa022fd1bc8a95ULL)
+      << "churn-baseline: churned campaign export drifted from its pin";
+}
+
+TEST(GoldenDeterminism, ChurnedSweepByteIdenticalAcrossWorkerCounts) {
+  // The export bytes include the per-trial population_samples documents,
+  // so the ground-truth stream is inside the invariance guarantee.
+  ScenarioSpec spec = *ScenarioSpec::builtin("churn-baseline");
+  spec.population.scale = kScale;
+  spec.campaign.trials = 3;
+  testing::expect_sweep_worker_invariant(spec);
+}
+
 TEST(GoldenDeterminism, GeoZonesSweepByteIdenticalAcrossWorkerCounts) {
   ScenarioSpec spec = *ScenarioSpec::builtin("geo-zones");
   spec.population.scale = kScale;
   spec.campaign.trials = 3;
-
-  std::string first;
-  for (const std::uint32_t workers : {1u, 2u, 4u}) {
-    std::ostringstream out;
-    measure::JsonExportSink sink(out);
-    runtime::ParallelTrialRunner runner({.workers = workers});
-    auto outcome = runner.run(
-        runtime::ParallelTrialRunner::seed_sweep(spec.to_campaign_config(),
-                                                 spec.trial_seeds()),
-        sink);
-    ASSERT_TRUE(outcome.has_value()) << outcome.error();
-    if (first.empty()) {
-      first = out.str();
-      ASSERT_FALSE(first.empty());
-    } else {
-      EXPECT_EQ(out.str(), first) << "workers=" << workers;
-    }
-  }
+  testing::expect_sweep_worker_invariant(spec);
 }
 
 }  // namespace

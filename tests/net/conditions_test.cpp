@@ -12,6 +12,7 @@
 #include "net/network.hpp"
 #include "p2p/swarm.hpp"
 #include "sim/simulation.hpp"
+#include "testing/hosts.hpp"
 
 namespace ipfs::net {
 namespace {
@@ -379,56 +380,34 @@ TEST(ConditionModel, SamplingByteStableForFixedRngTree) {
 }
 
 // ---- Network integration ----------------------------------------------------
-
-/// Minimal host for fabric-level checks.
-struct GateHost : Host {
-  GateHost(sim::Simulation& sim, std::uint64_t seed)
-      : swarm_(sim, PeerId::from_seed(seed),
-               p2p::Multiaddr{p2p::IpAddress::v4(static_cast<std::uint32_t>(seed)),
-                              p2p::Transport::kTcp, 4001},
-               {p2p::ConnManagerConfig::with_watermarks(0, 0), false}) {}
-  p2p::Swarm& swarm() override { return swarm_; }
-  void handle_message(const PeerId&, const Message&) override { ++received; }
-  p2p::Swarm swarm_;
-  int received = 0;
-};
+//
+// Fabric-level checks run on the shared `testing::HostNet` harness
+// (tests/testing/hosts.hpp), which bakes in the Host lifetime contract —
+// hosts outlive the Network — once for every suite.
 
 TEST(ConditionModel, NetworkRefusesDialsToNatBlockedPeers) {
   ConditionSpec spec;
   spec.nat.classes = {{.name = "nat", .weight = 1.0, .accepts_inbound = false}};
-  sim::Simulation sim;
-  // Hosts before the network: they must outlive it (Host lifetime contract).
-  GateHost alice(sim, 1);
-  GateHost bob(sim, 2);
-  Network network(sim, Rng(1), ConditionModel(spec, 2));
-  network.add_host(alice);
-  network.add_host(bob);
+  ipfs::testing::HostNet net(2, Rng(1), ConditionModel(spec, 2));
 
   bool ok = true;
-  network.dial(alice.swarm().local_id(), bob.swarm().local_id(),
-               [&](bool success) { ok = success; });
-  sim.run();
+  net.network().dial(net.id(0), net.id(1), [&](bool success) { ok = success; });
+  net.sim().run();
   EXPECT_FALSE(ok);  // everyone is in the refusing class
-  EXPECT_EQ(bob.swarm().open_count(), 0u);
+  EXPECT_EQ(net.host(1).swarm().open_count(), 0u);
 }
 
 TEST(ConditionModel, NetworkDropsMessagesUnderFullLoss) {
   ConditionSpec spec;
   spec.loss.message_loss = 1.0;
-  sim::Simulation sim;
-  GateHost alice(sim, 1);
-  GateHost bob(sim, 2);
-  Network network(sim, Rng(1), ConditionModel(spec, 2));
-  network.add_host(alice);
-  network.add_host(bob);
+  ipfs::testing::HostNet net(2, Rng(1), ConditionModel(spec, 2));
 
-  network.dial(alice.swarm().local_id(), bob.swarm().local_id());
-  sim.run();
-  ASSERT_TRUE(network.connected(alice.swarm().local_id(), bob.swarm().local_id()));
-  network.send(alice.swarm().local_id(), bob.swarm().local_id(),
-               Message{.protocol = "/test/1.0.0"});
-  sim.run();
-  EXPECT_EQ(bob.received, 0);
+  net.network().dial(net.id(0), net.id(1));
+  net.sim().run();
+  ASSERT_TRUE(net.network().connected(net.id(0), net.id(1)));
+  net.network().send(net.id(0), net.id(1), Message{.protocol = "/test/1.0.0"});
+  net.sim().run();
+  EXPECT_TRUE(net.host(1).received.empty());
 }
 
 TEST(ConditionModel, NetworkOutageDropsInFlightMessages) {
@@ -442,28 +421,21 @@ TEST(ConditionModel, NetworkOutageDropsInFlightMessages) {
                         .from = 1 * kHour,
                         .until = 2 * kHour}};
   ASSERT_EQ(ConditionSpec::validate(spec), std::nullopt);
-  sim::Simulation sim;
-  GateHost alice(sim, 1);
-  GateHost bob(sim, 2);
-  Network network(sim, Rng(1), ConditionModel(spec, 2));
-  network.add_host(alice);
-  network.add_host(bob);
+  ipfs::testing::HostNet net(2, Rng(1), ConditionModel(spec, 2));
 
-  network.dial(alice.swarm().local_id(), bob.swarm().local_id());
-  sim.run();  // connects well before the outage
-  ASSERT_TRUE(network.connected(alice.swarm().local_id(), bob.swarm().local_id()));
+  net.network().dial(net.id(0), net.id(1));
+  net.sim().run();  // connects well before the outage
+  ASSERT_TRUE(net.network().connected(net.id(0), net.id(1)));
 
-  sim.run_until(1 * kHour + 1);  // inside the outage window
-  network.send(alice.swarm().local_id(), bob.swarm().local_id(),
-               Message{.protocol = "/test/1.0.0"});
-  sim.run();
-  EXPECT_EQ(bob.received, 0);
+  net.sim().run_until(1 * kHour + 1);  // inside the outage window
+  net.network().send(net.id(0), net.id(1), Message{.protocol = "/test/1.0.0"});
+  net.sim().run();
+  EXPECT_TRUE(net.host(1).received.empty());
 
-  sim.run_until(2 * kHour + 1);  // window over: traffic flows again
-  network.send(alice.swarm().local_id(), bob.swarm().local_id(),
-               Message{.protocol = "/test/1.0.0"});
-  sim.run();
-  EXPECT_EQ(bob.received, 1);
+  net.sim().run_until(2 * kHour + 1);  // window over: traffic flows again
+  net.network().send(net.id(0), net.id(1), Message{.protocol = "/test/1.0.0"});
+  net.sim().run();
+  EXPECT_EQ(net.host(1).received.size(), 1u);
 }
 
 TEST(ConditionSpec, ValidateRejectsProgrammaticMistakes) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "testing/hosts.hpp"
+
 namespace ipfs::net {
 namespace {
 
@@ -10,42 +12,26 @@ using p2p::CloseReason;
 using p2p::Direction;
 using p2p::PeerId;
 
-/// Minimal host that records messages and optionally refuses dials.
-struct TestHost : Host {
-  TestHost(sim::Simulation& sim, std::uint64_t seed)
-      : swarm_(sim, PeerId::from_seed(seed),
-               p2p::Multiaddr{p2p::IpAddress::v4(static_cast<std::uint32_t>(seed)),
-                              p2p::Transport::kTcp, 4001},
-               {p2p::ConnManagerConfig::with_watermarks(0, 0), false}) {}
-
-  p2p::Swarm& swarm() override { return swarm_; }
-  bool accept_inbound(const PeerId&) override { return accept; }
-  void handle_message(const PeerId& from, const Message& message) override {
-    received.emplace_back(from, message.protocol);
-  }
-
-  p2p::Swarm swarm_;
-  bool accept = true;
-  std::vector<std::pair<PeerId, std::string>> received;
-};
-
+/// Three scripted hosts (alice, bob, carol) on one fabric, built on the
+/// shared `testing::HostNet` harness — which also bakes in the Host
+/// lifetime contract (hosts outlive the Network) once, instead of every
+/// fixture re-deriving it.
 class NetworkTest : public ::testing::Test {
  protected:
   NetworkTest()
-      : alice(sim, 1), bob(sim, 2), carol(sim, 3), network(sim, common::Rng(1)) {
-    network.add_host(alice);
-    network.add_host(bob);
-    network.add_host(carol);
-  }
+      : net(3),
+        alice(net.host(0)),
+        bob(net.host(1)),
+        carol(net.host(2)),
+        sim(net.sim()),
+        network(net.network()) {}
 
-  sim::Simulation sim;
-  // Hosts are declared before the network so they outlive it (the Host
-  // lifetime contract): ~Network detaches its swarm taps through the
-  // still-alive hosts.
-  TestHost alice;
-  TestHost bob;
-  TestHost carol;
-  Network network;
+  ipfs::testing::HostNet net;
+  ipfs::testing::ScriptedHost& alice;
+  ipfs::testing::ScriptedHost& bob;
+  ipfs::testing::ScriptedHost& carol;
+  sim::Simulation& sim;
+  Network& network;
 };
 
 TEST_F(NetworkTest, DialCreatesMirroredConnections) {

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
+#include "analysis/churn_stats.hpp"
+
 namespace ipfs::runtime {
 namespace {
 
@@ -117,6 +121,56 @@ TEST(Testbed, HydraAndCrawlerHandles) {
   EXPECT_GE(crawl.reached.size(), 7u);
   crawler.stop();
   hydra.stop();
+}
+
+/// Run a churned testbed and return (peer-offline closes seen by the
+/// vantage, peers observed across >= 2 reconstructed sessions).
+std::pair<std::size_t, std::size_t> run_churned_testbed(std::uint64_t seed) {
+  scenario::ChurnSpec churn;
+  // Short, light-tailed sessions so a 4 h run sees many leave/rejoin
+  // cycles per node.
+  churn.session = scenario::SessionDistribution::exponential(20.0 * 60 * 1000);
+  churn.gap = scenario::SessionDistribution::exponential(15.0 * 60 * 1000);
+  churn.initial_online = 0.8;
+  auto testbed = TestbedBuilder().seed(seed).churn(churn).build();
+  auto vantage = testbed.add_server(node::NodeConfig::dht_server(64, 96));
+  measure::Recorder& recorder = vantage.attach_recorder();
+  testbed.add_servers(10).add_clients(4).bootstrap_all_via(vantage);
+  testbed.churn_all_except(vantage);
+  testbed.run_for(4 * common::kHour);
+  recorder.finish();
+
+  const measure::Dataset& dataset = recorder.dataset();
+  std::size_t offline_closes = 0;
+  for (const auto& record : dataset.connections()) {
+    if (record.reason == p2p::CloseReason::kPeerOffline) ++offline_closes;
+  }
+  const auto sessions =
+      analysis::reconstruct_sessions(dataset, 5 * common::kMinute);
+  return {offline_closes,
+          analysis::compute_churn_stats(sessions).multi_session_peers};
+}
+
+TEST(Testbed, ChurnedNodesLeaveAndReturn) {
+  const auto [offline_closes, returning_peers] = run_churned_testbed(11);
+  // Leaves tear down real connections (vantage attributes them to the
+  // peer going offline), and rejoins produce multi-session traces.
+  EXPECT_GE(offline_closes, 5u);
+  EXPECT_GE(returning_peers, 3u);
+}
+
+TEST(Testbed, ChurnLifecycleIsDeterministicPerSeed) {
+  EXPECT_EQ(run_churned_testbed(12), run_churned_testbed(12));
+}
+
+TEST(Testbed, ChurnWithoutBuilderSpecIsANoOp) {
+  auto testbed = TestbedBuilder().seed(13).build();
+  auto vantage = testbed.add_server();
+  testbed.add_servers(2).bootstrap_all_via(vantage);
+  testbed.churn_all_except(vantage);  // no model declared: nothing scheduled
+  const auto before = testbed.simulation().executed_events();
+  testbed.run_for(30 * kMinute);
+  EXPECT_GT(testbed.simulation().executed_events(), before);
 }
 
 }  // namespace

@@ -3,31 +3,15 @@
 #include <gtest/gtest.h>
 
 #include "analysis/connection_stats.hpp"
+#include "testing/campaign.hpp"
 
 namespace ipfs::scenario {
 namespace {
 
 using common::kDay;
 using common::kHour;
-
-CampaignConfig small_config(PeriodSpec period, double scale = 0.02,
-                            std::uint64_t seed = 7) {
-  CampaignConfig config;
-  config.period = period;
-  config.population = PopulationSpec::test_scale(scale);
-  config.seed = seed;
-  return config;
-}
-
-/// Factory + run in one step; fails the test on an invalid config.
-CampaignResult run_campaign(CampaignConfig config) {
-  auto engine = CampaignEngine::create(std::move(config));
-  if (!engine) {
-    ADD_FAILURE() << "invalid campaign config: " << engine.error();
-    return {};
-  }
-  return engine->run();
-}
+using testing::run_campaign;
+using testing::small_config;
 
 TEST(Campaign, PeriodPresetsMatchTableOne) {
   const auto p0 = PeriodSpec::P0();

@@ -100,9 +100,11 @@ std::optional<ScenarioSpec> load_scenario(const std::string& ref,
 int cmd_list(const std::vector<std::string>& args) {
   std::cout << "builtin scenarios:\n";
   for (const ScenarioSpec& spec : ScenarioSpec::builtins()) {
-    // Flag workloads that reshape the fabric itself (DESIGN.md §9).
+    // Flag workloads that reshape the fabric (DESIGN.md §9) or animate a
+    // peer lifecycle (§10).
     std::cout << "  " << spec.name << (spec.network ? "  [conditions]" : "")
-              << "\n      " << spec.description << "\n";
+              << (spec.churn ? "  [churn]" : "") << "\n      "
+              << spec.description << "\n";
   }
   const std::string dir = args.empty() ? "scenarios" : args[0];
   if (!fs::is_directory(dir)) {
@@ -165,6 +167,10 @@ class ProgressSink final : public MeasurementSink {
     ++crawls_;
     (void)crawl;
   }
+  void on_population(const ipfs::measure::PopulationSample& sample) override {
+    ++population_samples_;
+    (void)sample;
+  }
   void on_dataset(ipfs::measure::DatasetRole role,
                   ipfs::measure::Dataset dataset) override {
     std::cerr << "   dataset " << ipfs::measure::to_string(role) << " ("
@@ -174,12 +180,18 @@ class ProgressSink final : public MeasurementSink {
   void on_run_end(const ipfs::measure::RunSummary& summary) override {
     std::cerr << "   population " << summary.population_size << ", "
               << summary.events_executed << " events, " << crawls_
-              << " crawl snapshots\n";
+              << " crawl snapshots";
+    if (population_samples_ > 0) {
+      std::cerr << ", " << population_samples_ << " churn population samples";
+    }
+    std::cerr << "\n";
     crawls_ = 0;
+    population_samples_ = 0;
   }
 
  private:
   std::size_t crawls_ = 0;
+  std::size_t population_samples_ = 0;
 };
 
 int cmd_run(const std::vector<std::string>& args) {
