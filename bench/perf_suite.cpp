@@ -1,7 +1,7 @@
 // Core performance suite — the recorded perf trajectory of this repo.
 //
 // Unlike the fig*/table* drivers (which reproduce paper numbers), this
-// binary times the three hot paths the simulator lives on and emits the
+// binary times the hot paths the simulator lives on and emits the
 // results as machine-readable JSON (`BENCH_core.json`):
 //
 //   lookup       RoutingTable::closest throughput, new bucket-walk
@@ -11,6 +11,8 @@
 //                the composite dial gate) — the per-dial/per-send hot path
 //   churn_model  scenario::ChurnModel pure per-(node, session) draws
 //                (session lengths and diurnally modulated gaps)
+//   content_model scenario::ContentModel pure per-(node, slot/fetch) draws
+//                (publish counts and popularity-skewed fetch keys + gaps)
 //   campaign     sequential vs. ParallelTrialRunner wall-clock for a
 //                multi-seed campaign sweep
 //
@@ -34,6 +36,7 @@
 #include "net/conditions.hpp"
 #include "runtime/parallel.hpp"
 #include "scenario/churn.hpp"
+#include "scenario/content.hpp"
 #include "sim/simulation.hpp"
 
 namespace {
@@ -281,6 +284,65 @@ ChurnModelNumbers bench_churn_model(bool smoke) {
   return numbers;
 }
 
+// ---- content_model: ContentModel per-(node, slot/fetch) sampling ------------
+
+struct ContentModelNumbers {
+  std::size_t samples = 0;
+  double publish_ns = 0.0;  ///< per draw, publish count + key + delay chain
+  double fetch_ns = 0.0;    ///< per draw, fetch gap + skewed key + serve gate
+};
+
+ContentModelNumbers bench_content_model(bool smoke) {
+  // A representative content-campaign spec: category overrides on both
+  // rates so the per-draw override lookup is live, default keyspace.
+  ipfs::scenario::ContentSpec spec;
+  ipfs::scenario::ContentCategorySpec core;
+  core.category = ipfs::scenario::Category::kCoreServer;
+  core.publishes_per_peer = 8.0;
+  core.fetches_per_hour = 0.25;
+  spec.categories = {core};
+  const ipfs::scenario::ContentModel model(spec, 0xc047);
+
+  ContentModelNumbers numbers;
+  numbers.samples = smoke ? 20'000 : 2'000'000;
+  constexpr std::uint32_t kKeyspace = 512;
+
+  std::uint64_t publish_checksum = 0;
+  auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < numbers.samples; ++i) {
+    const auto node = static_cast<std::uint32_t>(i & 0x3fff);
+    const auto slot = static_cast<std::uint32_t>(i >> 14);
+    const auto category = (i & 7) != 0 ? ipfs::scenario::Category::kNormalUser
+                                       : ipfs::scenario::Category::kCoreServer;
+    publish_checksum += model.publish_count(node, category);
+    publish_checksum += model.key_for(node, slot, kKeyspace);
+    publish_checksum +=
+        static_cast<std::uint64_t>(model.initial_publish_delay(node, slot));
+  }
+  numbers.publish_ns =
+      elapsed_ms(start) * 1e6 / static_cast<double>(numbers.samples);
+
+  std::uint64_t fetch_checksum = 0;
+  start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < numbers.samples; ++i) {
+    const auto node = static_cast<std::uint32_t>(i & 0x3fff);
+    const auto fetch = static_cast<std::uint32_t>(i >> 14);
+    const auto category = (i & 7) != 0 ? ipfs::scenario::Category::kNormalUser
+                                       : ipfs::scenario::Category::kCoreServer;
+    fetch_checksum +=
+        static_cast<std::uint64_t>(model.fetch_gap(node, fetch, category));
+    fetch_checksum += model.fetch_key(node, fetch, kKeyspace);
+    fetch_checksum += model.fetch_served(node, fetch) ? 1 : 0;
+  }
+  numbers.fetch_ns = elapsed_ms(start) * 1e6 / static_cast<double>(numbers.samples);
+
+  if (publish_checksum == 0 || fetch_checksum == 0) {
+    std::cerr << "content_model checksum implausible\n";
+    std::exit(1);
+  }
+  return numbers;
+}
+
 // ---- campaign: sequential loop vs. ParallelTrialRunner ----------------------
 
 struct CampaignNumbers {
@@ -354,30 +416,35 @@ int main(int argc, char** argv) {
   ipfs::bench::print_header("Core performance suite",
                             "perf trajectory (BENCH_core.json), not a paper figure");
 
-  std::cout << "[1/5] lookup: RoutingTable::closest ...\n";
+  std::cout << "[1/6] lookup: RoutingTable::closest ...\n";
   const LookupNumbers lookup = bench_lookup(smoke);
   std::cout << "      table=" << lookup.table_size << " peers, "
             << lookup.closest_ns << " ns/query (sort-everything baseline: "
             << lookup.baseline_ns << " ns/query, "
             << lookup.baseline_ns / lookup.closest_ns << "x)\n";
 
-  std::cout << "[2/5] event queue: schedule + drain ...\n";
+  std::cout << "[2/6] event queue: schedule + drain ...\n";
   const EventQueueNumbers events = bench_event_queue(smoke);
   std::cout << "      " << events.events << " events, " << events.ns_per_event
             << " ns/event (" << 1e9 / events.ns_per_event << " events/s)\n";
 
-  std::cout << "[3/5] conditions: ConditionModel sampling ...\n";
+  std::cout << "[3/6] conditions: ConditionModel sampling ...\n";
   const ConditionNumbers conditions = bench_conditions(smoke);
   std::cout << "      " << conditions.samples << " samples, "
             << conditions.one_way_ns << " ns/one_way, " << conditions.gate_ns
             << " ns/dial_allowed\n";
 
-  std::cout << "[4/5] churn_model: ChurnModel sampling ...\n";
+  std::cout << "[4/6] churn_model: ChurnModel sampling ...\n";
   const ChurnModelNumbers churn = bench_churn_model(smoke);
   std::cout << "      " << churn.samples << " samples, " << churn.session_ns
             << " ns/session, " << churn.gap_ns << " ns/gap\n";
 
-  std::cout << "[5/5] campaign: sequential vs parallel sweep ...\n";
+  std::cout << "[5/6] content_model: ContentModel sampling ...\n";
+  const ContentModelNumbers content = bench_content_model(smoke);
+  std::cout << "      " << content.samples << " samples, " << content.publish_ns
+            << " ns/publish-chain, " << content.fetch_ns << " ns/fetch-chain\n";
+
+  std::cout << "[6/6] campaign: sequential vs parallel sweep ...\n";
   const CampaignNumbers campaign = bench_campaign(smoke);
   std::cout << "      " << campaign.trials << " trials @ scale "
             << campaign.scale << ": sequential " << campaign.sequential_ms
@@ -419,6 +486,12 @@ int main(int argc, char** argv) {
   json.field("samples", static_cast<std::uint64_t>(churn.samples));
   json.field("session_ns_per_draw", churn.session_ns);
   json.field("gap_ns_per_draw", churn.gap_ns);
+  json.end_object();
+  json.key("content_model");
+  json.begin_object();
+  json.field("samples", static_cast<std::uint64_t>(content.samples));
+  json.field("publish_chain_ns_per_draw", content.publish_ns);
+  json.field("fetch_chain_ns_per_draw", content.fetch_ns);
   json.end_object();
   json.key("campaign");
   json.begin_object();

@@ -1,0 +1,104 @@
+#include "analysis/content_stats.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+namespace ipfs::analysis {
+
+using common::SimDuration;
+using common::SimTime;
+
+ProvideStats compute_provide_stats(
+    const std::vector<measure::ProvideSample>& provides) {
+  ProvideStats stats;
+  stats.provides = provides.size();
+  std::unordered_set<std::uint32_t> keys;
+  std::unordered_set<std::uint32_t> providers;
+  for (const measure::ProvideSample& provide : provides) {
+    if (provide.republish) ++stats.republishes;
+    keys.insert(provide.key);
+    providers.insert(provide.provider);
+  }
+  stats.distinct_keys = keys.size();
+  stats.distinct_providers = providers.size();
+  stats.provides_per_key =
+      keys.empty() ? 0.0
+                   : static_cast<double>(stats.provides) /
+                         static_cast<double>(keys.size());
+  return stats;
+}
+
+std::vector<CountSample> provider_availability_over_time(
+    const std::vector<measure::ProvideSample>& provides, SimDuration ttl,
+    SimDuration step, SimTime start, SimTime end) {
+  std::vector<CountSample> series;
+  if (ttl <= 0 || step <= 0 || end < start) return series;
+  // ±1 record-lifetime edges: a provide at `t` is live on [t, t+ttl).
+  std::vector<std::pair<SimTime, int>> edges;
+  edges.reserve(provides.size() * 2);
+  for (const measure::ProvideSample& provide : provides) {
+    edges.emplace_back(provide.at, +1);
+    edges.emplace_back(provide.at + ttl, -1);
+  }
+  std::sort(edges.begin(), edges.end());
+
+  std::size_t next_edge = 0;
+  std::int64_t live = 0;
+  for (SimTime at = start; at <= end; at += step) {
+    // Half-open lifetimes: expiry edges at exactly `at` apply first.
+    while (next_edge < edges.size() && edges[next_edge].first <= at) {
+      live += edges[next_edge].second;
+      ++next_edge;
+    }
+    series.push_back({at, static_cast<std::uint64_t>(std::max<std::int64_t>(live, 0))});
+  }
+  return series;
+}
+
+std::vector<RecordCoverageSample> record_coverage(
+    const std::vector<measure::ContentSample>& samples) {
+  std::vector<RecordCoverageSample> series;
+  series.reserve(samples.size());
+  for (const measure::ContentSample& sample : samples) {
+    RecordCoverageSample point;
+    point.at = sample.at;
+    point.vantage_records = sample.vantage_records;
+    point.vantage_keys = sample.vantage_keys;
+    point.true_records = sample.true_records;
+    point.coverage = sample.true_records == 0
+                         ? 0.0
+                         : static_cast<double>(sample.vantage_records) /
+                               static_cast<double>(sample.true_records);
+    series.push_back(point);
+  }
+  return series;
+}
+
+FetchStats compute_fetch_stats(
+    const std::vector<measure::FetchSample>& fetches) {
+  FetchStats stats;
+  stats.fetches = fetches.size();
+  std::vector<double> latencies_ms;
+  for (const measure::FetchSample& fetch : fetches) {
+    if (fetch.found_provider) ++stats.found_provider;
+    if (fetch.served) {
+      ++stats.served;
+      latencies_ms.push_back(static_cast<double>(fetch.latency));
+    }
+  }
+  if (stats.fetches > 0) {
+    stats.lookup_success_rate = static_cast<double>(stats.found_provider) /
+                                static_cast<double>(stats.fetches);
+    stats.fetch_success_rate =
+        static_cast<double>(stats.served) / static_cast<double>(stats.fetches);
+  }
+  stats.median_latency_ms = common::median(latencies_ms);
+  common::RunningStats moments;
+  for (const double latency : latencies_ms) moments.add(latency);
+  stats.mean_latency_ms = moments.mean();
+  stats.latency_cdf = common::Cdf(std::move(latencies_ms));
+  return stats;
+}
+
+}  // namespace ipfs::analysis

@@ -1,0 +1,79 @@
+// Content-routing workload statistics (DESIGN.md §11).
+//
+// A content-enabled campaign publishes three streams: per-provide events
+// (`measure::ProvideSample`), per-fetch outcomes (`measure::FetchSample`)
+// and periodic records-at-vantage snapshots (`measure::ContentSample`).
+// This module turns those streams into the figures the content model was
+// built for: provider-record availability over time (how many unexpired
+// records exist at each instant, given the TTL), the vantage's record
+// coverage against ground truth, and fetch success / latency CDFs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/timeseries.hpp"
+#include "common/sim_time.hpp"
+#include "common/stats.hpp"
+#include "measure/sink.hpp"
+
+namespace ipfs::analysis {
+
+/// Aggregate provide statistics for one run.
+struct ProvideStats {
+  std::size_t provides = 0;        ///< all provide events (initial + republish)
+  std::size_t republishes = 0;     ///< events from a republish cycle
+  std::size_t distinct_keys = 0;   ///< keys provided at least once
+  std::size_t distinct_providers = 0;  ///< peers that provided at least once
+  /// Mean provides per provided key (> 1 when replication or republish
+  /// cycles are present).
+  double provides_per_key = 0.0;
+};
+
+[[nodiscard]] ProvideStats compute_provide_stats(
+    const std::vector<measure::ProvideSample>& provides);
+
+/// Number of *live* provider records at each grid point `start,
+/// start+step, …, end`: a provide at `t` covers [t, t+ttl).  Republish
+/// chains keep records alive; a provider that departs before its next
+/// cycle decays out after one TTL — the availability-over-time figure.
+[[nodiscard]] std::vector<CountSample> provider_availability_over_time(
+    const std::vector<measure::ProvideSample>& provides,
+    common::SimDuration ttl, common::SimDuration step, common::SimTime start,
+    common::SimTime end);
+
+/// One records-at-vantage coverage point: how many provider records the
+/// vantage stores hold versus how many the ground-truth population would
+/// publish if every online provider's records were visible.
+struct RecordCoverageSample {
+  common::SimTime at = 0;
+  std::size_t vantage_records = 0;
+  std::size_t vantage_keys = 0;
+  std::size_t true_records = 0;
+  /// vantage_records / true_records (0 when the truth is empty).  Below
+  /// 1.0 from visibility/NAT gating; above it transiently when departed
+  /// providers' records have not yet expired.
+  double coverage = 0.0;
+};
+
+/// Evaluate coverage at each engine snapshot (`measure::ContentSample`).
+[[nodiscard]] std::vector<RecordCoverageSample> record_coverage(
+    const std::vector<measure::ContentSample>& samples);
+
+/// Aggregate fetch statistics for one run.
+struct FetchStats {
+  std::size_t fetches = 0;
+  std::size_t found_provider = 0;  ///< lookups that found >= 1 live record
+  std::size_t served = 0;          ///< fetches that received the block
+  double lookup_success_rate = 0.0;  ///< found_provider / fetches
+  double fetch_success_rate = 0.0;   ///< served / fetches
+  double mean_latency_ms = 0.0;      ///< served fetches only
+  double median_latency_ms = 0.0;    ///< served fetches only
+  /// Empirical latency CDF of *served* fetches, in milliseconds.
+  common::Cdf latency_cdf;
+};
+
+[[nodiscard]] FetchStats compute_fetch_stats(
+    const std::vector<measure::FetchSample>& fetches);
+
+}  // namespace ipfs::analysis

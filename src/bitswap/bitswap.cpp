@@ -1,15 +1,25 @@
 #include "bitswap/bitswap.hpp"
 
+#include <iterator>
+
 #include "p2p/protocols.hpp"
 
 namespace ipfs::bitswap {
 
 void BitswapEngine::want_block(const p2p::PeerId& from, const Cid& cid,
                                std::function<void(const Cid&)> on_block) {
-  wanted_[cid].push_back(std::move(on_block));
+  wanted_[cid].push_back({from, std::move(on_block)});
   BitswapMessage message;
   message.wants.push_back({cid, /*cancel=*/false, /*want_have_only=*/false});
   send(from, std::move(message));
+}
+
+void BitswapEngine::cancel_wants(const p2p::PeerId& peer) {
+  for (auto it = wanted_.begin(); it != wanted_.end();) {
+    std::erase_if(it->second,
+                  [&peer](const PendingWant& want) { return want.peer == peer; });
+    it = it->second.empty() ? wanted_.erase(it) : std::next(it);
+  }
 }
 
 bool BitswapEngine::handle_message(const p2p::PeerId& from,
@@ -44,10 +54,10 @@ bool BitswapEngine::handle_message(const p2p::PeerId& from,
     ++ledger.blocks_received;
     ledger.bytes_received += kBlockSize;
     store_.insert(block);
-    auto callbacks = std::move(it->second);
+    auto pending = std::move(it->second);
     wanted_.erase(it);
-    for (auto& callback : callbacks) {
-      if (callback) callback(block);
+    for (PendingWant& want : pending) {
+      if (want.callback) want.callback(block);
     }
   }
 

@@ -57,6 +57,9 @@ class BitswapEngine {
 
   /// Add a block to the local store (we can now serve it).
   void add_block(const Cid& cid) { store_.insert(cid); }
+  /// Drop a block from the local store (replacement-cache eviction);
+  /// true when it was present.
+  bool remove_block(const Cid& cid) { return store_.erase(cid) > 0; }
   [[nodiscard]] bool has_block(const Cid& cid) const { return store_.contains(cid); }
   [[nodiscard]] std::size_t store_size() const noexcept { return store_.size(); }
 
@@ -65,6 +68,12 @@ class BitswapEngine {
   void want_block(const p2p::PeerId& from, const Cid& cid,
                   std::function<void(const Cid&)> on_block);
 
+  /// Drop every pending want addressed to `peer`.  Call when the session
+  /// to a serving peer closes: without this, `wanted_` entries for
+  /// never-answered wants pile up forever under churn.  The dropped
+  /// callbacks are destroyed without firing.
+  void cancel_wants(const p2p::PeerId& peer);
+
   /// Handle an inbound /ipfs/bitswap message; true when consumed.
   bool handle_message(const p2p::PeerId& from, const net::Message& message);
 
@@ -72,12 +81,19 @@ class BitswapEngine {
   [[nodiscard]] std::size_t pending_wants() const noexcept { return wanted_.size(); }
 
  private:
+  /// One outstanding `want_block`, remembered with the peer it was sent
+  /// to so disconnects can cancel exactly their own wants.
+  struct PendingWant {
+    p2p::PeerId peer;
+    std::function<void(const Cid&)> callback;
+  };
+
   void send(const p2p::PeerId& to, BitswapMessage message);
 
   net::Network& network_;
   p2p::PeerId self_;
   std::unordered_set<Cid> store_;
-  std::unordered_map<Cid, std::vector<std::function<void(const Cid&)>>> wanted_;
+  std::unordered_map<Cid, std::vector<PendingWant>> wanted_;
   std::unordered_map<p2p::PeerId, Ledger> ledgers_;
 };
 

@@ -43,6 +43,16 @@ void ReplaySink::on_population(const PopulationSample& sample) {
   events_.push_back(sample);
 }
 
+void ReplaySink::on_provide(const ProvideSample& sample) {
+  events_.push_back(sample);
+}
+
+void ReplaySink::on_fetch(const FetchSample& sample) { events_.push_back(sample); }
+
+void ReplaySink::on_content(const ContentSample& sample) {
+  events_.push_back(sample);
+}
+
 void ReplaySink::on_dataset(DatasetRole role, Dataset dataset) {
   events_.push_back(DatasetEvent{role, std::move(dataset)});
 }
@@ -60,6 +70,12 @@ void ReplaySink::replay(MeasurementSink& sink) {
             sink.on_crawl(e);
           } else if constexpr (std::is_same_v<T, PopulationSample>) {
             sink.on_population(e);
+          } else if constexpr (std::is_same_v<T, ProvideSample>) {
+            sink.on_provide(e);
+          } else if constexpr (std::is_same_v<T, FetchSample>) {
+            sink.on_fetch(e);
+          } else if constexpr (std::is_same_v<T, ContentSample>) {
+            sink.on_content(e);
           } else if constexpr (std::is_same_v<T, DatasetEvent>) {
             sink.on_dataset(e.role, std::move(e.dataset));
           } else {
@@ -83,6 +99,18 @@ void FanOutSink::on_population(const PopulationSample& sample) {
   for (MeasurementSink* sink : sinks_) sink->on_population(sample);
 }
 
+void FanOutSink::on_provide(const ProvideSample& sample) {
+  for (MeasurementSink* sink : sinks_) sink->on_provide(sample);
+}
+
+void FanOutSink::on_fetch(const FetchSample& sample) {
+  for (MeasurementSink* sink : sinks_) sink->on_fetch(sample);
+}
+
+void FanOutSink::on_content(const ContentSample& sample) {
+  for (MeasurementSink* sink : sinks_) sink->on_content(sample);
+}
+
 void FanOutSink::on_dataset(DatasetRole role, Dataset dataset) {
   if (sinks_.empty()) return;
   for (std::size_t i = 0; i + 1 < sinks_.size(); ++i) {
@@ -99,6 +127,18 @@ void JsonExportSink::on_population(const PopulationSample& sample) {
   population_.push_back(sample);
 }
 
+void JsonExportSink::on_provide(const ProvideSample& sample) {
+  provides_.push_back(sample);
+}
+
+void JsonExportSink::on_fetch(const FetchSample& sample) {
+  fetches_.push_back(sample);
+}
+
+void JsonExportSink::on_content(const ContentSample& sample) {
+  content_.push_back(sample);
+}
+
 void JsonExportSink::on_dataset(DatasetRole role, Dataset dataset) {
   if (options_.role_filter && *options_.role_filter != role) return;
   dataset.export_json(out_, options_.include_connections, options_.pretty);
@@ -108,23 +148,82 @@ void JsonExportSink::on_dataset(DatasetRole role, Dataset dataset) {
 
 void JsonExportSink::on_run_end(const RunSummary& summary) {
   (void)summary;
-  if (population_.empty()) return;  // non-churned runs export nothing extra
-  common::JsonWriter writer(out_, options_.pretty);
-  writer.begin_object();
-  writer.key("population_samples");
-  writer.begin_array();
-  for (const PopulationSample& sample : population_) {
+  // Non-churned, non-content runs export nothing extra here, so legacy
+  // exports stay byte-identical.
+  if (!population_.empty()) {
+    common::JsonWriter writer(out_, options_.pretty);
     writer.begin_object();
-    writer.field("at_ms", static_cast<std::int64_t>(sample.at));
-    writer.field("online", static_cast<std::uint64_t>(sample.online));
-    writer.field("total", static_cast<std::uint64_t>(sample.total));
-    writer.field("connected", static_cast<std::uint64_t>(sample.connected));
+    writer.key("population_samples");
+    writer.begin_array();
+    for (const PopulationSample& sample : population_) {
+      writer.begin_object();
+      writer.field("at_ms", static_cast<std::int64_t>(sample.at));
+      writer.field("online", static_cast<std::uint64_t>(sample.online));
+      writer.field("total", static_cast<std::uint64_t>(sample.total));
+      writer.field("connected", static_cast<std::uint64_t>(sample.connected));
+      writer.end_object();
+    }
+    writer.end_array();
     writer.end_object();
+    out_ << "\n";
+    population_.clear();
   }
-  writer.end_array();
-  writer.end_object();
-  out_ << "\n";
-  population_.clear();
+  if (!provides_.empty()) {
+    common::JsonWriter writer(out_, options_.pretty);
+    writer.begin_object();
+    writer.key("provide_samples");
+    writer.begin_array();
+    for (const ProvideSample& sample : provides_) {
+      writer.begin_object();
+      writer.field("at_ms", static_cast<std::int64_t>(sample.at));
+      writer.field("key", static_cast<std::uint64_t>(sample.key));
+      writer.field("provider", static_cast<std::uint64_t>(sample.provider));
+      writer.field("republish", sample.republish);
+      writer.end_object();
+    }
+    writer.end_array();
+    writer.end_object();
+    out_ << "\n";
+    provides_.clear();
+  }
+  if (!fetches_.empty()) {
+    common::JsonWriter writer(out_, options_.pretty);
+    writer.begin_object();
+    writer.key("fetch_samples");
+    writer.begin_array();
+    for (const FetchSample& sample : fetches_) {
+      writer.begin_object();
+      writer.field("at_ms", static_cast<std::int64_t>(sample.at));
+      writer.field("key", static_cast<std::uint64_t>(sample.key));
+      writer.field("found_provider", sample.found_provider);
+      writer.field("served", sample.served);
+      writer.field("latency_ms", static_cast<std::int64_t>(sample.latency));
+      writer.end_object();
+    }
+    writer.end_array();
+    writer.end_object();
+    out_ << "\n";
+    fetches_.clear();
+  }
+  if (!content_.empty()) {
+    common::JsonWriter writer(out_, options_.pretty);
+    writer.begin_object();
+    writer.key("content_samples");
+    writer.begin_array();
+    for (const ContentSample& sample : content_) {
+      writer.begin_object();
+      writer.field("at_ms", static_cast<std::int64_t>(sample.at));
+      writer.field("vantage_records",
+                   static_cast<std::uint64_t>(sample.vantage_records));
+      writer.field("vantage_keys", static_cast<std::uint64_t>(sample.vantage_keys));
+      writer.field("true_records", static_cast<std::uint64_t>(sample.true_records));
+      writer.end_object();
+    }
+    writer.end_array();
+    writer.end_object();
+    out_ << "\n";
+    content_.clear();
+  }
 }
 
 }  // namespace ipfs::measure

@@ -56,6 +56,35 @@ struct PopulationSample {
   std::size_t connected = 0;  ///< distinct peers with an open vantage connection
 };
 
+/// One provider-record publish landing at the vantages — published by
+/// campaign runs with a content workload engaged (scenario::ContentModel,
+/// DESIGN.md §11).
+struct ProvideSample {
+  SimTime at = 0;
+  std::uint32_t key = 0;       ///< keyspace index of the provided CID
+  std::uint32_t provider = 0;  ///< population index of the providing peer
+  bool republish = false;      ///< true for 12 h-cycle refreshes
+};
+
+/// One Bitswap fetch attempt: provider lookup at a vantage followed by a
+/// want/block exchange when a live provider record was found.
+struct FetchSample {
+  SimTime at = 0;
+  std::uint32_t key = 0;        ///< keyspace index requested
+  bool found_provider = false;  ///< a live provider record existed
+  bool served = false;          ///< the block actually arrived
+  SimDuration latency = 0;      ///< want -> block round trip (0 when unserved)
+};
+
+/// One records-at-vantage sample next to the ground truth — what the
+/// paper's hydra "belly" sees versus what is truly live.
+struct ContentSample {
+  SimTime at = 0;
+  std::size_t vantage_records = 0;  ///< live provider records across server vantages
+  std::size_t vantage_keys = 0;     ///< distinct keys with >= 1 live record
+  std::size_t true_records = 0;     ///< provider slots of peers truly online
+};
+
 /// End-of-run bookkeeping, published after the last dataset.
 struct RunSummary {
   std::size_t population_size = 0;
@@ -64,9 +93,9 @@ struct RunSummary {
 
 /// Receives measurement output.  Hooks default to no-ops so sinks override
 /// only what they consume.  Within one run the call order is:
-/// `on_run_begin`, any number of `on_crawl` / `on_population` (interleaved,
-/// each in simulation-time order), then every `on_dataset`, then
-/// `on_run_end`.
+/// `on_run_begin`, any number of `on_crawl` / `on_population` /
+/// `on_provide` / `on_fetch` / `on_content` (interleaved, each in
+/// simulation-time order), then every `on_dataset`, then `on_run_end`.
 class MeasurementSink {
  public:
   virtual ~MeasurementSink() = default;
@@ -74,6 +103,9 @@ class MeasurementSink {
   virtual void on_run_begin(const std::string& description) { (void)description; }
   virtual void on_crawl(const CrawlObservation& crawl) { (void)crawl; }
   virtual void on_population(const PopulationSample& sample) { (void)sample; }
+  virtual void on_provide(const ProvideSample& sample) { (void)sample; }
+  virtual void on_fetch(const FetchSample& sample) { (void)sample; }
+  virtual void on_content(const ContentSample& sample) { (void)sample; }
   virtual void on_dataset(DatasetRole role, Dataset dataset) {
     (void)role;
     (void)dataset;
@@ -96,6 +128,13 @@ class CollectingSink final : public MeasurementSink {
   void on_population(const PopulationSample& sample) override {
     population_.push_back(sample);
   }
+  void on_provide(const ProvideSample& sample) override {
+    provides_.push_back(sample);
+  }
+  void on_fetch(const FetchSample& sample) override { fetches_.push_back(sample); }
+  void on_content(const ContentSample& sample) override {
+    content_.push_back(sample);
+  }
   void on_dataset(DatasetRole role, Dataset dataset) override {
     datasets_.push_back({role, std::move(dataset)});
   }
@@ -107,6 +146,15 @@ class CollectingSink final : public MeasurementSink {
   }
   [[nodiscard]] const std::vector<PopulationSample>& population() const noexcept {
     return population_;
+  }
+  [[nodiscard]] const std::vector<ProvideSample>& provides() const noexcept {
+    return provides_;
+  }
+  [[nodiscard]] const std::vector<FetchSample>& fetches() const noexcept {
+    return fetches_;
+  }
+  [[nodiscard]] const std::vector<ContentSample>& content() const noexcept {
+    return content_;
   }
   [[nodiscard]] const std::vector<Entry>& datasets() const noexcept {
     return datasets_;
@@ -120,6 +168,9 @@ class CollectingSink final : public MeasurementSink {
   std::string description_;
   std::vector<CrawlObservation> crawls_;
   std::vector<PopulationSample> population_;
+  std::vector<ProvideSample> provides_;
+  std::vector<FetchSample> fetches_;
+  std::vector<ContentSample> content_;
   std::vector<Entry> datasets_;
   RunSummary summary_;
 };
@@ -135,6 +186,9 @@ class ReplaySink final : public MeasurementSink {
   void on_run_begin(const std::string& description) override;
   void on_crawl(const CrawlObservation& crawl) override;
   void on_population(const PopulationSample& sample) override;
+  void on_provide(const ProvideSample& sample) override;
+  void on_fetch(const FetchSample& sample) override;
+  void on_content(const ContentSample& sample) override;
   void on_dataset(DatasetRole role, Dataset dataset) override;
   void on_run_end(const RunSummary& summary) override;
 
@@ -153,6 +207,7 @@ class ReplaySink final : public MeasurementSink {
     Dataset dataset;
   };
   using Event = std::variant<BeginEvent, CrawlObservation, PopulationSample,
+                             ProvideSample, FetchSample, ContentSample,
                              DatasetEvent, RunSummary>;
 
   std::vector<Event> events_;
@@ -171,6 +226,9 @@ class FanOutSink final : public MeasurementSink {
   void on_run_begin(const std::string& description) override;
   void on_crawl(const CrawlObservation& crawl) override;
   void on_population(const PopulationSample& sample) override;
+  void on_provide(const ProvideSample& sample) override;
+  void on_fetch(const FetchSample& sample) override;
+  void on_content(const ContentSample& sample) override;
   void on_dataset(DatasetRole role, Dataset dataset) override;
   void on_run_end(const RunSummary& summary) override;
 
@@ -184,7 +242,9 @@ class FanOutSink final : public MeasurementSink {
 /// the sink buffers those and appends one `population_samples` document
 /// per run after the datasets, so CLI artifacts carry the
 /// observed-vs-true baseline too (runs without churn emit nothing extra
-/// — legacy exports stay byte-identical).
+/// — legacy exports stay byte-identical).  Content-enabled runs likewise
+/// buffer `ProvideSample` / `FetchSample` / `ContentSample` streams and
+/// append one document per non-empty stream after the population one.
 class JsonExportSink final : public MeasurementSink {
  public:
   struct Options {
@@ -202,6 +262,9 @@ class JsonExportSink final : public MeasurementSink {
       : out_(out), options_(options) {}
 
   void on_population(const PopulationSample& sample) override;
+  void on_provide(const ProvideSample& sample) override;
+  void on_fetch(const FetchSample& sample) override;
+  void on_content(const ContentSample& sample) override;
   void on_dataset(DatasetRole role, Dataset dataset) override;
   void on_run_end(const RunSummary& summary) override;
 
@@ -212,6 +275,9 @@ class JsonExportSink final : public MeasurementSink {
   Options options_;
   std::size_t exported_ = 0;
   std::vector<PopulationSample> population_;  ///< buffered until run end
+  std::vector<ProvideSample> provides_;       ///< buffered until run end
+  std::vector<FetchSample> fetches_;          ///< buffered until run end
+  std::vector<ContentSample> content_;        ///< buffered until run end
 };
 
 }  // namespace ipfs::measure

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "crawler/crawler.hpp"
+#include "dht/record_store.hpp"
 #include "hydra/hydra_node.hpp"
 #include "measure/recorder.hpp"
 #include "measure/sink.hpp"
@@ -28,6 +29,7 @@
 #include "net/network.hpp"
 #include "node/go_ipfs_node.hpp"
 #include "scenario/churn.hpp"
+#include "scenario/content.hpp"
 #include "sim/simulation.hpp"
 
 namespace ipfs::runtime {
@@ -109,6 +111,24 @@ class Testbed {
   /// up, as the paper's did).
   Testbed& churn_all_except(NodeHandle vantage);
 
+  /// Drive `handle` with the builder's content-workload model
+  /// (`TestbedBuilder::content`): the node provides its drawn keys on the
+  /// publish/republish cycle — records land in `content_records()`, blocks
+  /// in the node's real Bitswap store — and runs a fetch chain that looks
+  /// providers up in the record store and exchanges genuine want/block
+  /// messages with connected providers.  Draws are pure per (node index,
+  /// slot/fetch, cycle), so equally seeded testbeds agree on every
+  /// provide and fetch.  No-op when the builder declared no content model.
+  Testbed& content(NodeHandle handle);
+
+  /// `content()` for every node except `vantage`.
+  Testbed& content_all_except(NodeHandle vantage);
+
+  /// The shared provider-record store content-driven nodes publish into
+  /// (the vantage's view); swept every `bucket_refresh_interval`.
+  /// Requires a builder-declared content model.
+  [[nodiscard]] dht::RecordStore& content_records();
+
   // ---- execution -----------------------------------------------------------
 
   Testbed& run_for(common::SimDuration duration);
@@ -133,17 +153,24 @@ class Testbed {
   friend class NodeHandle;
 
   Testbed(std::uint64_t seed, net::ConditionSpec conditions,
-          std::optional<scenario::ChurnSpec> churn);
+          std::optional<scenario::ChurnSpec> churn,
+          std::optional<scenario::ContentSpec> content);
 
   struct Entry {
     std::unique_ptr<node::GoIpfsNode> node;
     std::unique_ptr<measure::Recorder> recorder;
     bool bootstrapped = false;
     bool churned = false;
+    bool content = false;
+    std::uint32_t content_fetches = 0;  ///< next fetch-chain index
   };
 
   void schedule_churn_session(std::size_t index, std::uint32_t session,
                               common::SimDuration delay);
+  void schedule_content_provide(std::size_t index, std::uint32_t slot,
+                                std::uint32_t cycle, common::SimDuration delay);
+  void schedule_content_fetch(std::size_t index);
+  void schedule_content_maintenance();
 
   /// Deterministic per-entity generator: depends only on the testbed seed
   /// and the entity's creation index, never on call interleaving.
@@ -154,6 +181,9 @@ class Testbed {
   net::Network network_;
   net::IpAllocator ips_;
   std::optional<scenario::ChurnModel> churn_model_;
+  std::optional<scenario::ContentModel> content_model_;
+  std::unique_ptr<dht::RecordStore> content_records_;
+  bool content_maintenance_scheduled_ = false;
   std::uint64_t next_entity_ = 0;
   std::vector<Entry> entries_;
   std::vector<std::unique_ptr<hydra::HydraNode>> hydras_;
@@ -197,14 +227,26 @@ class TestbedBuilder {
     return *this;
   }
 
+  /// Content-workload description for nodes registered with
+  /// `Testbed::content(...)` (scenario/content.hpp, DESIGN.md §11).
+  /// Seeded from the testbed seed like the churn model.  Testbed nodes
+  /// have no population `Category`, so the spec's top-level
+  /// `publishes_per_peer` / `fetches_per_hour` apply; per-category
+  /// overrides take effect in campaign runs only.
+  TestbedBuilder& content(scenario::ContentSpec spec) {
+    content_ = std::move(spec);
+    return *this;
+  }
+
   [[nodiscard]] Testbed build() const {
-    return Testbed(seed_, conditions_, churn_);
+    return Testbed(seed_, conditions_, churn_, content_);
   }
 
  private:
   std::uint64_t seed_ = 20211203;
   net::ConditionSpec conditions_{};
   std::optional<scenario::ChurnSpec> churn_;
+  std::optional<scenario::ContentSpec> content_;
 };
 
 }  // namespace ipfs::runtime

@@ -5,8 +5,11 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "bitswap/bitswap.hpp"
 #include "common/stats.hpp"
 #include "common/version.hpp"
+#include "dht/record_store.hpp"
+#include "net/network.hpp"
 #include "p2p/protocols.hpp"
 
 namespace ipfs::scenario {
@@ -111,6 +114,18 @@ void CampaignResultSink::on_population(const measure::PopulationSample& sample) 
   result_.population_samples.push_back(sample);
 }
 
+void CampaignResultSink::on_provide(const measure::ProvideSample& sample) {
+  result_.provide_samples.push_back(sample);
+}
+
+void CampaignResultSink::on_fetch(const measure::FetchSample& sample) {
+  result_.fetch_samples.push_back(sample);
+}
+
+void CampaignResultSink::on_content(const measure::ContentSample& sample) {
+  result_.content_samples.push_back(sample);
+}
+
 void CampaignResultSink::on_dataset(measure::DatasetRole role,
                                     measure::Dataset dataset) {
   switch (role) {
@@ -149,6 +164,16 @@ struct CampaignEngine::Impl {
       // scheduling branch and shifts nothing else.
       churn.emplace(*config.churn, common::mix64(config.seed, 0xc4021));
     }
+    if (config.content) {
+      // Same principle again: the content workload hangs off the campaign
+      // seed directly, so engaging it adds provide/fetch branches without
+      // shifting any legacy draw (hash-pinned by the golden tests).
+      content.emplace(*config.content, common::mix64(config.seed, 0xc047e47));
+      content_keyspace = std::max<std::uint32_t>(
+          1, static_cast<std::uint32_t>(std::llround(
+                 static_cast<double>(content->spec().keys) *
+                 config.population.scale)));
+    }
   }
 
   // ---- types -------------------------------------------------------------
@@ -186,6 +211,35 @@ struct CampaignEngine::Impl {
     SimTime session_end = 0;
     SimTime last_online = -common::kDay;  ///< for stale routing entries
     std::uint32_t session_index = 0;      ///< sessions started (churn mode)
+    std::uint32_t fetch_index = 0;        ///< fetches drawn (content mode)
+  };
+
+  /// A minimal Bitswap participant on the content network: one swarm (for
+  /// the network's connection mirroring) and one engine.  Server vantages
+  /// get one to serve blocks; fetching remote peers get one lazily.
+  struct BitswapHost final : net::Host {
+    BitswapHost(sim::Simulation& simulation, net::Network& network,
+                p2p::PeerId pid, p2p::Multiaddr address)
+        : swarm_(simulation, pid, std::move(address), p2p::Swarm::Config{}),
+          engine_(network, pid) {}
+
+    [[nodiscard]] p2p::Swarm& swarm() override { return swarm_; }
+    void handle_message(const p2p::PeerId& from,
+                        const net::Message& message) override {
+      engine_.handle_message(from, message);
+    }
+
+    p2p::Swarm swarm_;
+    bitswap::BitswapEngine engine_;
+  };
+
+  /// Content-routing state of one *server* vantage: the provider-record
+  /// store its DHT serves (the hydra "belly" / go-ipfs record slice) and
+  /// the Bitswap host that serves the published blocks.
+  struct ContentVantage {
+    std::size_t vantage = 0;  ///< index into `vantages`
+    std::unique_ptr<dht::RecordStore> records;
+    std::unique_ptr<BitswapHost> host;
   };
 
   // ---- setup -------------------------------------------------------------
@@ -410,6 +464,251 @@ struct CampaignEngine::Impl {
         });
   }
 
+  // ---- content-routing workload (DESIGN.md §11) ----------------------------
+  //
+  // Publish → provide → republish → expire chains drive the server
+  // vantages' `dht::RecordStore`s, and fetches run real Bitswap
+  // want/block exchanges over a dedicated message-level network whose
+  // participants reuse the existing identities (vantage swarm ids, remote
+  // peer pids) — no extra RNG draw, so an absent `config.content` leaves
+  // every legacy branch untouched.  All workload draws are pure
+  // (node, slot/fetch, cycle, seed) functions of the content model;
+  // the only mutable state (`fetch_index`) advances in deterministic
+  // event order.
+
+  void setup_content() {
+    if (!content) return;
+    // The Bitswap fabric uses flat default conditions: loss and NAT gating
+    // happen at the scheduling layer through the campaign's own
+    // `contact_allowed` / `fetch_served` verdicts, so outcomes stay pure.
+    content_network = std::make_unique<net::Network>(
+        simulation, common::Rng(common::mix64(config.seed, 0xb175)));
+    for (std::size_t v = 0; v < vantages.size(); ++v) {
+      if (!vantages[v].is_server) continue;
+      ContentVantage cv;
+      cv.vantage = v;
+      cv.records = std::make_unique<dht::RecordStore>();
+      cv.host = std::make_unique<BitswapHost>(
+          simulation, *content_network, vantages[v].swarm->local_id(),
+          vantages[v].swarm->listen_address());
+      content_network->add_host(*cv.host);
+      content_vantages.push_back(std::move(cv));
+    }
+  }
+
+  /// Session hook: schedule this session's provides and its fetch chain.
+  void start_content_session(std::uint32_t index) {
+    const RemotePeer& peer = population.peers()[index];
+    const std::uint32_t count = content->publish_count(index, peer.category);
+    const SimTime session_end = peer_states[index].session_end;
+    for (std::uint32_t slot = 0; slot < count; ++slot) {
+      const SimTime at =
+          simulation.now() + content->initial_publish_delay(index, slot);
+      if (at >= session_end || at >= config.period.duration) continue;
+      simulation.schedule_at(at, [this, index, slot, session_end] {
+        provide(index, slot, /*cycle=*/0, session_end);
+      });
+    }
+    schedule_next_fetch(index);
+  }
+
+  /// Put provider records for (index, slot) at every vantage the peer can
+  /// reach, push the block so the vantage can serve it, and chain the next
+  /// 12 h republish cycle while the session lasts.
+  void provide(std::uint32_t index, std::uint32_t slot, std::uint32_t cycle,
+               SimTime session_end) {
+    const PeerState& state = peer_states[index];
+    if (!state.online || state.session_end != session_end) return;
+    if (simulation.now() >= config.period.duration) return;
+    const RemotePeer& peer = population.peers()[index];
+    const std::uint32_t key = content->key_for(index, slot, content_keyspace);
+    const bitswap::Cid cid = content->key_cid(key);
+    bool landed = false;
+    for (ContentVantage& cv : content_vantages) {
+      if (!visible(peer, vantages[cv.vantage])) continue;
+      if (!contact_allowed(peer, cv.vantage)) continue;  // provide RPC lost
+      cv.records->put(cid, peer.pid, simulation.now(),
+                      content->spec().provider_ttl);
+      cv.host->engine_.add_block(cid);
+      landed = true;
+    }
+    if (landed && content_sink != nullptr) {
+      content_sink->on_provide({simulation.now(), key, index, cycle > 0});
+    }
+    const SimTime next = simulation.now() + content->spec().republish_interval +
+                         content->republish_jitter(index, slot, cycle + 1);
+    if (next >= session_end || next >= config.period.duration) return;
+    simulation.schedule_at(next, [this, index, slot, cycle, session_end] {
+      provide(index, slot, cycle + 1, session_end);
+    });
+  }
+
+  void schedule_next_fetch(std::uint32_t index) {
+    const RemotePeer& peer = population.peers()[index];
+    if (content->fetch_rate(peer.category) <= 0.0) return;
+    const PeerState& state = peer_states[index];
+    const std::uint32_t fetch = state.fetch_index;
+    const auto gap = std::max<SimDuration>(
+        content->fetch_gap(index, fetch, peer.category), kSecond);
+    const SimTime at = simulation.now() + gap;
+    if (at >= state.session_end || at >= config.period.duration) return;
+    peer_states[index].fetch_index = fetch + 1;
+    simulation.schedule_at(at, [this, index, fetch] {
+      if (!peer_states[index].online) return;
+      do_fetch(index, fetch);
+      schedule_next_fetch(index);
+    });
+  }
+
+  /// One fetch: provider lookup at a deterministically chosen visible
+  /// vantage, then — when a live record exists and the pure service gate
+  /// passes — a real want/block exchange on the content network.
+  void do_fetch(std::uint32_t index, std::uint32_t fetch) {
+    if (simulation.now() >= config.period.duration) return;
+    const RemotePeer& peer = population.peers()[index];
+    const std::uint32_t key = content->fetch_key(index, fetch, content_keyspace);
+    const bitswap::Cid cid = content->key_cid(key);
+
+    measure::FetchSample sample;
+    sample.at = simulation.now();
+    sample.key = key;
+
+    std::vector<std::size_t> candidates;
+    for (std::size_t i = 0; i < content_vantages.size(); ++i) {
+      if (visible(peer, vantages[content_vantages[i].vantage])) {
+        candidates.push_back(i);
+      }
+    }
+    if (candidates.empty()) {
+      emit_fetch(sample);
+      return;
+    }
+    const std::uint64_t pick_key = (static_cast<std::uint64_t>(index) << 32) |
+                                   static_cast<std::uint64_t>(fetch);
+    ContentVantage& cv = content_vantages[candidates[static_cast<std::size_t>(
+        common::mix64(common::mix64(config.seed, 0xfe7d), pick_key) %
+        candidates.size())]];
+    if (!contact_allowed(peer, cv.vantage)) {
+      emit_fetch(sample);  // the lookup RPC never reached the vantage
+      return;
+    }
+    sample.found_provider = !cv.records->get(cid, simulation.now()).empty();
+    if (!sample.found_provider || !content->fetch_served(index, fetch)) {
+      emit_fetch(sample);
+      return;
+    }
+
+    // Real exchange: dial (first fetch of the session), send the want,
+    // record the block arrival.  The fetcher host reuses the remote's own
+    // PeerId so the vantage's Bitswap ledgers are per-peer, as in go-bitswap.
+    const p2p::PeerId vantage_pid = vantages[cv.vantage].swarm->local_id();
+    BitswapHost& fetcher = fetcher_host(index);
+    const SimTime start = simulation.now();
+    auto send_want = [this, index, key, start, vantage_pid, cid] {
+      const auto it = fetcher_hosts.find(index);
+      if (it == fetcher_hosts.end()) return;  // left before the dial finished
+      it->second->engine_.want_block(
+          vantage_pid, cid, [this, key, start](const bitswap::Cid&) {
+            measure::FetchSample served;
+            served.at = simulation.now();
+            served.key = key;
+            served.found_provider = true;
+            served.served = true;
+            served.latency = simulation.now() - start;
+            emit_fetch(served);
+          });
+    };
+    if (content_network->connected(fetcher.swarm_.local_id(), vantage_pid)) {
+      send_want();
+    } else {
+      content_network->dial(fetcher.swarm_.local_id(), vantage_pid,
+                            [this, key, start, send_want](bool ok) {
+                              if (!ok) {
+                                measure::FetchSample failed;
+                                failed.at = simulation.now();
+                                failed.key = key;
+                                failed.found_provider = true;
+                                emit_fetch(failed);
+                                return;
+                              }
+                              send_want();
+                            });
+    }
+  }
+
+  void emit_fetch(const measure::FetchSample& sample) {
+    if (content_sink != nullptr) content_sink->on_fetch(sample);
+  }
+
+  [[nodiscard]] BitswapHost& fetcher_host(std::uint32_t index) {
+    auto it = fetcher_hosts.find(index);
+    if (it == fetcher_hosts.end()) {
+      const RemotePeer& peer = population.peers()[index];
+      auto host = std::make_unique<BitswapHost>(
+          simulation, *content_network, peer.pid,
+          p2p::Multiaddr{peer.ip, p2p::Transport::kTcp, peer.port});
+      content_network->add_host(*host);
+      it = fetcher_hosts.emplace(index, std::move(host)).first;
+    }
+    return *it->second;
+  }
+
+  /// Session hook: a departing fetcher cancels its in-flight wants (the
+  /// bound on `pending_wants()` under churn) and leaves the network.
+  void end_content_session(std::uint32_t index) {
+    const auto it = fetcher_hosts.find(index);
+    if (it == fetcher_hosts.end()) return;
+    for (const ContentVantage& cv : content_vantages) {
+      it->second->engine_.cancel_wants(vantages[cv.vantage].swarm->local_id());
+    }
+    content_network->remove_host(it->second->swarm_.local_id());
+    fetcher_hosts.erase(it);
+  }
+
+  /// The vantage maintenance cadence (go-ipfs bucket refresh): sweep
+  /// expired provider records on a schedule — not just lazily on `get` —
+  /// and evict up to `replacement_cache_size` orphaned blocks per pass, so
+  /// 14-day runs stay bounded.
+  void schedule_content_maintenance() {
+    for (std::size_t i = 0; i < content_vantages.size(); ++i) {
+      content_tasks.push_back(simulation.schedule_every(
+          content->spec().bucket_refresh_interval, [this, i] {
+            ContentVantage& cv = content_vantages[i];
+            cv.records->sweep(simulation.now());
+            std::uint32_t evicted = 0;
+            for (std::uint32_t key = 0; key < content_keyspace; ++key) {
+              if (evicted >= content->spec().replacement_cache_size) break;
+              const bitswap::Cid cid = content->key_cid(key);
+              if (cv.host->engine_.has_block(cid) &&
+                  cv.records->get(cid, simulation.now()).empty()) {
+                cv.host->engine_.remove_block(cid);
+                ++evicted;
+              }
+            }
+          }));
+    }
+  }
+
+  /// Publish one `measure::ContentSample` per sample interval: the record
+  /// counts actually held at the server vantages next to the ground truth
+  /// (provider slots of peers truly in-session right now).
+  void schedule_content_samples() {
+    content_tasks.push_back(simulation.schedule_every(
+        content->spec().sample_interval, [this] {
+          measure::ContentSample sample;
+          sample.at = simulation.now();
+          for (const ContentVantage& cv : content_vantages) {
+            sample.vantage_records += cv.records->record_count();
+            sample.vantage_keys += cv.records->key_count();
+          }
+          for (const RemotePeer& peer : population.peers()) {
+            if (!peer_states[peer.index].online) continue;
+            sample.true_records += content->publish_count(peer.index, peer.category);
+          }
+          if (content_sink != nullptr) content_sink->on_content(sample);
+        }));
+  }
+
   [[nodiscard]] common::Rng peer_rng(std::uint32_t index) {
     return rng.child(common::mix64(0x9e11, (static_cast<std::uint64_t>(index) << 20) +
                                                static_cast<std::uint64_t>(
@@ -439,6 +738,8 @@ struct CampaignEngine::Impl {
       if (params.queries_per_hour > 0.0) schedule_next_query(index, v);
     }
 
+    if (content) start_content_session(index);
+
     // Session end.
     simulation.schedule_at(session_end, [this, index, session_end] {
       end_session(index, session_end);
@@ -452,6 +753,7 @@ struct CampaignEngine::Impl {
     state.last_online = simulation.now();
     const RemotePeer& peer = population.peers()[index];
     if (peer.dht_server) remove_online_server(index);
+    if (content) end_content_session(index);
     // Close whatever maintained connections remain (queries close on their
     // own schedule, clamped to the session).
     for (std::size_t v = 0; v < vantages.size(); ++v) {
@@ -975,6 +1277,8 @@ struct CampaignEngine::Impl {
   void run(measure::MeasurementSink& sink) {
     sink.on_run_begin("campaign " + config.period.name);
     setup_vantages();
+    setup_content();
+    content_sink = &sink;
     for (Vantage& vantage : vantages) {
       vantage.recorder->start();
       vantage.swarm->start();
@@ -985,16 +1289,23 @@ struct CampaignEngine::Impl {
     schedule_gossip();
     schedule_crawler(sink);
     schedule_population_samples(sink);
+    if (content) {
+      schedule_content_maintenance();
+      schedule_content_samples();
+    }
     schedule_metadata_dynamics();
 
     simulation.run_until(config.period.duration);
-    // The crawler and population-sample lambdas hold references to `sink`,
-    // which dies with this call; cancel them so manual post-run stepping
-    // cannot fire them.
+    // The crawler, population-sample and content lambdas hold references
+    // to `sink`, which dies with this call; cancel them so manual post-run
+    // stepping cannot fire them.
     simulation.cancel(crawler_task);
     crawler_task = sim::kInvalidTask;
     simulation.cancel(population_task);
     population_task = sim::kInvalidTask;
+    for (const sim::TaskId task : content_tasks) simulation.cancel(task);
+    content_tasks.clear();
+    content_sink = nullptr;
 
     for (Vantage& vantage : vantages) {
       vantage.recorder->finish();
@@ -1032,6 +1343,15 @@ struct CampaignEngine::Impl {
   Population population;
   std::optional<net::ConditionModel> conditions;
   std::optional<ChurnModel> churn;
+  std::optional<ContentModel> content;
+  std::uint32_t content_keyspace = 0;
+  // Hosts must outlive the content network (net::Host lifetime contract),
+  // so the network is declared *after* every host container below.
+  std::vector<ContentVantage> content_vantages;
+  std::unordered_map<std::uint32_t, std::unique_ptr<BitswapHost>> fetcher_hosts;
+  std::unique_ptr<net::Network> content_network;
+  std::vector<sim::TaskId> content_tasks;
+  measure::MeasurementSink* content_sink = nullptr;  ///< valid during run()
   std::vector<Vantage> vantages;
   std::vector<PeerState> peer_states;
   std::vector<std::uint8_t> maintained_flags;
@@ -1073,6 +1393,9 @@ std::optional<std::string> CampaignEngine::validate(const CampaignConfig& config
   }
   if (config.churn) {
     if (auto error = ChurnSpec::validate(*config.churn)) return error;
+  }
+  if (config.content) {
+    if (auto error = ContentSpec::validate(*config.content)) return error;
   }
   return std::nullopt;
 }

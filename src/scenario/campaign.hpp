@@ -30,6 +30,7 @@
 #include "measure/sink.hpp"
 #include "net/conditions.hpp"
 #include "scenario/churn.hpp"
+#include "scenario/content.hpp"
 #include "scenario/period.hpp"
 #include "scenario/population.hpp"
 #include "sim/simulation.hpp"
@@ -77,6 +78,17 @@ struct CampaignConfig {
   /// bit-for-bit identical to the pre-churn code path (hash-pinned by
   /// tests/integration/golden_determinism_test.cpp).
   std::optional<ChurnSpec> churn;
+
+  /// Optional content-routing workload (scenario/content.hpp, DESIGN.md
+  /// §11): publish → provide → republish → expire chains driving
+  /// `dht::RecordStore`s at the server vantages, plus live Bitswap
+  /// want/block fetch traffic over a dedicated message-level network.
+  /// Engaged, the engine publishes `measure::ProvideSample` /
+  /// `FetchSample` / `ContentSample` streams (records-at-vantage vs
+  /// ground truth).  nullopt leaves the engine's behaviour bit-for-bit
+  /// identical to the pre-content code path (hash-pinned by
+  /// tests/integration/golden_determinism_test.cpp).
+  std::optional<ContentSpec> content;
 };
 
 /// Datasets and baselines produced by a campaign run (the all-in-memory
@@ -88,6 +100,10 @@ struct CampaignResult {
   std::vector<CrawlSnapshot> crawls;
   /// True-population samples (churned campaigns only; empty otherwise).
   std::vector<measure::PopulationSample> population_samples;
+  /// Content-workload streams (content-enabled campaigns only).
+  std::vector<measure::ProvideSample> provide_samples;
+  std::vector<measure::FetchSample> fetch_samples;
+  std::vector<measure::ContentSample> content_samples;
 
   std::size_t population_size = 0;
   std::size_t events_executed = 0;
@@ -102,6 +118,9 @@ class CampaignResultSink final : public measure::MeasurementSink {
  public:
   void on_crawl(const measure::CrawlObservation& crawl) override;
   void on_population(const measure::PopulationSample& sample) override;
+  void on_provide(const measure::ProvideSample& sample) override;
+  void on_fetch(const measure::FetchSample& sample) override;
+  void on_content(const measure::ContentSample& sample) override;
   void on_dataset(measure::DatasetRole role, measure::Dataset dataset) override;
   void on_run_end(const measure::RunSummary& summary) override;
 

@@ -1,0 +1,163 @@
+#include "scenario/content.hpp"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace ipfs::scenario {
+
+using common::SimDuration;
+
+// ---- ContentSpec::validate --------------------------------------------------
+
+std::optional<std::string> ContentSpec::validate(const ContentSpec& spec) {
+  if (spec.keys < 1) return "content: keys must be >= 1";
+  if (spec.publishes_per_peer < 0.0) {
+    return "content: publishes_per_peer must be >= 0";
+  }
+  if (spec.fetches_per_hour < 0.0) {
+    return "content: fetches_per_hour must be >= 0";
+  }
+  if (spec.provider_ttl <= 0) return "content: provider_ttl_ms must be > 0";
+  if (spec.republish_interval <= 0) {
+    return "content: republish_interval_ms must be > 0";
+  }
+  if (spec.republish_interval >= spec.provider_ttl) {
+    return "content: republish_interval_ms must be < provider_ttl_ms";
+  }
+  if (spec.publish_spread <= 0) return "content: publish_spread_ms must be > 0";
+  if (spec.bucket_refresh_interval <= 0) {
+    return "content: bucket_refresh_interval_ms must be > 0";
+  }
+  if (spec.replacement_cache_size < 1) {
+    return "content: replacement_cache_size must be >= 1";
+  }
+  if (spec.sample_interval <= 0) return "content: sample_interval_ms must be > 0";
+  if (spec.fetch_success < 0.0 || spec.fetch_success > 1.0) {
+    return "content: fetch_success must be in [0, 1]";
+  }
+  std::array<bool, kCategoryCount> seen{};
+  for (std::size_t i = 0; i < spec.categories.size(); ++i) {
+    const ContentCategorySpec& entry = spec.categories[i];
+    const std::string prefix =
+        "content.categories." + std::string(to_string(entry.category));
+    const auto slot = static_cast<std::size_t>(entry.category);
+    if (slot >= kCategoryCount) return prefix + ": unknown category";
+    if (seen[slot]) return prefix + ": duplicate category override";
+    seen[slot] = true;
+    if (entry.publishes_per_peer < 0.0) {
+      return prefix + ": publishes_per_peer must be >= 0";
+    }
+    if (entry.fetches_per_hour < 0.0) {
+      return prefix + ": fetches_per_hour must be >= 0";
+    }
+  }
+  return std::nullopt;
+}
+
+// ---- ContentModel -----------------------------------------------------------
+
+ContentModel::ContentModel(ContentSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)), seed_(seed) {
+  override_slot_.fill(-1);
+  for (std::size_t i = 0; i < spec_.categories.size(); ++i) {
+    override_slot_[static_cast<std::size_t>(spec_.categories[i].category)] =
+        static_cast<std::int32_t>(i);
+  }
+}
+
+common::Rng ContentModel::draw_rng(std::uint64_t salt, std::uint32_t node,
+                                   std::uint32_t index) const noexcept {
+  // A fresh generator per draw keeps every sample a pure function of
+  // (node, index, seed) — independent of call order (DESIGN.md §5).
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(node) << 32) | static_cast<std::uint64_t>(index);
+  return common::Rng(common::mix64(common::mix64(seed_, salt), key));
+}
+
+double ContentModel::publish_rate(Category category) const noexcept {
+  const std::int32_t slot = override_slot_[static_cast<std::size_t>(category)];
+  return slot < 0
+             ? spec_.publishes_per_peer
+             : spec_.categories[static_cast<std::size_t>(slot)].publishes_per_peer;
+}
+
+double ContentModel::fetch_rate(Category category) const noexcept {
+  const std::int32_t slot = override_slot_[static_cast<std::size_t>(category)];
+  return slot < 0
+             ? spec_.fetches_per_hour
+             : spec_.categories[static_cast<std::size_t>(slot)].fetches_per_hour;
+}
+
+std::uint32_t ContentModel::publish_count(std::uint32_t node,
+                                          Category category) const noexcept {
+  const double rate = publish_rate(category);
+  const auto base = static_cast<std::uint32_t>(rate);
+  const double fraction = rate - static_cast<double>(base);
+  if (fraction <= 0.0) return base;
+  // Stable-hash coin for the fractional key, so an average of e.g. 1.5
+  // keys per peer holds exactly in expectation without mutable state.
+  const std::uint64_t h = common::mix64(common::mix64(seed_, 0x9b1c), node);
+  const bool extra =
+      static_cast<double>(h) <
+      fraction * static_cast<double>(std::numeric_limits<std::uint64_t>::max());
+  return base + (extra ? 1u : 0u);
+}
+
+std::uint32_t ContentModel::key_for(std::uint32_t node, std::uint32_t slot,
+                                    std::uint32_t keyspace) const noexcept {
+  if (keyspace == 0) return 0;
+  common::Rng rng = draw_rng(0x6e15, node, slot);
+  return static_cast<std::uint32_t>(rng.uniform_u64(keyspace));
+}
+
+common::SimDuration ContentModel::initial_publish_delay(
+    std::uint32_t node, std::uint32_t slot) const noexcept {
+  common::Rng rng = draw_rng(0xde1a, node, slot);
+  return static_cast<SimDuration>(
+      rng.uniform_u64(static_cast<std::uint64_t>(spec_.publish_spread)));
+}
+
+common::SimDuration ContentModel::republish_jitter(
+    std::uint32_t node, std::uint32_t slot, std::uint32_t cycle) const noexcept {
+  common::Rng rng = draw_rng(common::mix64(0x4e91, cycle), node, slot);
+  return static_cast<SimDuration>(
+      rng.uniform_u64(static_cast<std::uint64_t>(spec_.publish_spread)));
+}
+
+common::SimDuration ContentModel::fetch_gap(std::uint32_t node,
+                                            std::uint32_t fetch,
+                                            Category category) const {
+  const double rate = fetch_rate(category);
+  if (rate <= 0.0) return 0;
+  common::Rng rng = draw_rng(0xfe7c, node, fetch);
+  return static_cast<SimDuration>(
+      rng.exponential(static_cast<double>(common::kHour) / rate));
+}
+
+std::uint32_t ContentModel::fetch_key(std::uint32_t node, std::uint32_t fetch,
+                                      std::uint32_t keyspace) const noexcept {
+  if (keyspace == 0) return 0;
+  common::Rng rng = draw_rng(0xfe7b, node, fetch);
+  // u^2 skews demand towards low key indices (a crude Zipf): the keyspace
+  // head is fetched often, the tail rarely — so replacement caches and
+  // provider-record churn see realistic popularity contrast.
+  const double u = rng.uniform();
+  return static_cast<std::uint32_t>(u * u * static_cast<double>(keyspace));
+}
+
+bool ContentModel::fetch_served(std::uint32_t node,
+                                std::uint32_t fetch) const noexcept {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(node) << 32) | static_cast<std::uint64_t>(fetch);
+  const std::uint64_t h = common::mix64(common::mix64(seed_, 0x5e4d), key);
+  return static_cast<double>(h) <
+         spec_.fetch_success *
+             static_cast<double>(std::numeric_limits<std::uint64_t>::max());
+}
+
+p2p::PeerId ContentModel::key_cid(std::uint32_t key) const noexcept {
+  return p2p::PeerId::from_seed(common::mix64(common::mix64(seed_, 0xc1d0), key));
+}
+
+}  // namespace ipfs::scenario

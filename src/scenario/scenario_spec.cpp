@@ -686,6 +686,88 @@ ParseError parse_churn(const JsonValue& value, const std::string& path,
   return std::nullopt;
 }
 
+// ---- the "content" section (scenario::ContentSpec) --------------------------
+
+ParseError parse_content(const JsonValue& value, const std::string& path,
+                         ContentSpec& content) {
+  if (auto error = expect_object(value, path)) return error;
+  if (auto error = check_keys(
+          value, path,
+          {"keys", "publishes_per_peer", "fetches_per_hour", "provider_ttl_ms",
+           "republish_interval_ms", "publish_spread_ms",
+           "bucket_refresh_interval_ms", "replacement_cache_size",
+           "sample_interval_ms", "fetch_success", "categories"})) {
+    return error;
+  }
+  if (auto e = get_u32(value, "keys", path, content.keys)) return e;
+  if (auto e = get_double(value, "publishes_per_peer", path,
+                          content.publishes_per_peer)) {
+    return e;
+  }
+  if (auto e = get_double(value, "fetches_per_hour", path,
+                          content.fetches_per_hour)) {
+    return e;
+  }
+  if (auto e = get_duration_ms(value, "provider_ttl_ms", path,
+                               content.provider_ttl)) {
+    return e;
+  }
+  if (auto e = get_duration_ms(value, "republish_interval_ms", path,
+                               content.republish_interval)) {
+    return e;
+  }
+  if (auto e = get_duration_ms(value, "publish_spread_ms", path,
+                               content.publish_spread)) {
+    return e;
+  }
+  if (auto e = get_duration_ms(value, "bucket_refresh_interval_ms", path,
+                               content.bucket_refresh_interval)) {
+    return e;
+  }
+  if (auto e = get_u32(value, "replacement_cache_size", path,
+                       content.replacement_cache_size)) {
+    return e;
+  }
+  if (auto e = get_duration_ms(value, "sample_interval_ms", path,
+                               content.sample_interval)) {
+    return e;
+  }
+  if (auto e = get_double(value, "fetch_success", path, content.fetch_success)) {
+    return e;
+  }
+  if (const JsonValue* categories = value.find("categories")) {
+    const std::string categories_path = join(path, "categories");
+    if (auto error = expect_object(*categories, categories_path)) return error;
+    for (const JsonValue::Member& member : categories->as_object()) {
+      const auto category = category_from_string(member.first);
+      if (!category) {
+        return categories_path + ": unknown category name '" + member.first + "'";
+      }
+      const std::string entry_path = join(categories_path, member.first);
+      if (auto error = expect_object(member.second, entry_path)) return error;
+      if (auto error = check_keys(member.second, entry_path,
+                                  {"publishes_per_peer", "fetches_per_hour"})) {
+        return error;
+      }
+      ContentCategorySpec entry;
+      entry.category = *category;
+      // Absent fields inherit the spec's top-level rates.
+      entry.publishes_per_peer = content.publishes_per_peer;
+      entry.fetches_per_hour = content.fetches_per_hour;
+      if (auto e = get_double(member.second, "publishes_per_peer", entry_path,
+                              entry.publishes_per_peer)) {
+        return e;
+      }
+      if (auto e = get_double(member.second, "fetches_per_hour", entry_path,
+                              entry.fetches_per_hour)) {
+        return e;
+      }
+      content.categories.push_back(std::move(entry));
+    }
+  }
+  return std::nullopt;
+}
+
 ParseError parse_campaign(const JsonValue& value, const std::string& path,
                           CampaignSettings& campaign) {
   if (auto error = expect_object(value, path)) return error;
@@ -1123,6 +1205,55 @@ ScenarioSpec builtin_diurnal_churn() {
   return spec;
 }
 
+/// The content-workload showcase: go-ipfs publish/republish cadence over a
+/// modest keyspace with steady Bitswap fetch traffic (DESIGN.md §11).
+ScenarioSpec builtin_content_baseline() {
+  ScenarioSpec spec = make_builtin(
+      "content-baseline",
+      "Content-routing baseline: every peer provides ~2 keys of a 512-key "
+      "space on the go-ipfs 24 h validity / 12 h republish cycle and "
+      "fetches ~1 block/h over Bitswap; the vantage record store tracks "
+      "provider availability against ground truth",
+      period_conditions("CONTENT-BASELINE"));
+  ContentSpec content;  // the go-ipfs defaults are the showcase
+  // Servers publish more and fetch less; one-time visitors only fetch.
+  ContentCategorySpec core_server;
+  core_server.category = Category::kCoreServer;
+  core_server.publishes_per_peer = 8.0;
+  core_server.fetches_per_hour = 0.25;
+  ContentCategorySpec one_time;
+  one_time.category = Category::kOneTime;
+  one_time.publishes_per_peer = 0.0;
+  one_time.fetches_per_hour = 2.0;
+  content.categories = {core_server, one_time};
+  spec.content = std::move(content);
+  return spec;
+}
+
+/// Flash crowd: a small hot keyspace fetched an order of magnitude harder
+/// than it is provided — replacement caches and record TTLs under load.
+ScenarioSpec builtin_flash_fetch() {
+  ScenarioSpec spec = make_builtin(
+      "flash-fetch",
+      "Flash fetch crowd: a hot 64-key space, short 2 h records republished "
+      "hourly, and ~12 fetches/h per peer hammering the popular keys — "
+      "stress for record sweeps, replacement caches and Bitswap ledgers",
+      period_conditions("FLASH-FETCH"));
+  ContentSpec content;
+  content.keys = 64;
+  content.publishes_per_peer = 1.0;
+  content.fetches_per_hour = 12.0;
+  content.provider_ttl = 2 * kHour;
+  content.republish_interval = 1 * kHour;
+  content.publish_spread = 15 * kMinute;
+  content.bucket_refresh_interval = 5 * kMinute;
+  content.replacement_cache_size = 8;
+  content.sample_interval = 30 * kMinute;
+  content.fetch_success = 0.9;
+  spec.content = std::move(content);
+  return spec;
+}
+
 }  // namespace
 
 // ---- (de)serialisation ------------------------------------------------------
@@ -1137,7 +1268,8 @@ std::expected<ScenarioSpec, std::string> ScenarioSpec::from_json(
   }
   if (auto error = check_keys(root, "document",
                               {"name", "description", "period", "population",
-                               "network", "churn", "campaign", "output"})) {
+                               "network", "churn", "content", "campaign",
+                               "output"})) {
     return std::unexpected(std::move(*error));
   }
 
@@ -1167,6 +1299,12 @@ std::expected<ScenarioSpec, std::string> ScenarioSpec::from_json(
   if (const JsonValue* churn = root.find("churn")) {
     spec.churn.emplace();
     if (auto error = parse_churn(*churn, "churn", *spec.churn)) {
+      return std::unexpected(std::move(*error));
+    }
+  }
+  if (const JsonValue* content = root.find("content")) {
+    spec.content.emplace();
+    if (auto error = parse_content(*content, "content", *spec.content)) {
       return std::unexpected(std::move(*error));
     }
   }
@@ -1423,6 +1561,40 @@ void ScenarioSpec::to_json(JsonWriter& writer) const {
     writer.end_object();
   }
 
+  // The "content" section follows the same only-when-engaged rule:
+  // pre-content scenario files must keep exporting byte-identically.
+  if (content) {
+    writer.key("content");
+    writer.begin_object();
+    writer.field("keys", static_cast<std::uint64_t>(content->keys));
+    writer.field("publishes_per_peer", content->publishes_per_peer);
+    writer.field("fetches_per_hour", content->fetches_per_hour);
+    writer.field("provider_ttl_ms",
+                 static_cast<std::int64_t>(content->provider_ttl));
+    writer.field("republish_interval_ms",
+                 static_cast<std::int64_t>(content->republish_interval));
+    writer.field("publish_spread_ms",
+                 static_cast<std::int64_t>(content->publish_spread));
+    writer.field("bucket_refresh_interval_ms",
+                 static_cast<std::int64_t>(content->bucket_refresh_interval));
+    writer.field("replacement_cache_size",
+                 static_cast<std::uint64_t>(content->replacement_cache_size));
+    writer.field("sample_interval_ms",
+                 static_cast<std::int64_t>(content->sample_interval));
+    writer.field("fetch_success", content->fetch_success);
+    writer.key("categories");
+    writer.begin_object();
+    for (const ContentCategorySpec& entry : content->categories) {
+      writer.key(to_string(entry.category));
+      writer.begin_object();
+      writer.field("publishes_per_peer", entry.publishes_per_peer);
+      writer.field("fetches_per_hour", entry.fetches_per_hour);
+      writer.end_object();
+    }
+    writer.end_object();
+    writer.end_object();
+  }
+
   writer.key("campaign");
   writer.begin_object();
   writer.field("seed", campaign.seed);
@@ -1516,6 +1688,7 @@ CampaignConfig ScenarioSpec::to_campaign_config() const {
   config.client_dials_per_hour = campaign.client_dials_per_hour;
   config.conditions = network;
   config.churn = churn;
+  config.content = content;
   return config;
 }
 
@@ -1571,6 +1744,8 @@ const std::vector<ScenarioSpec>& ScenarioSpec::builtins() {
     all.push_back(builtin_zone_partition());
     all.push_back(builtin_churn_baseline());
     all.push_back(builtin_diurnal_churn());
+    all.push_back(builtin_content_baseline());
+    all.push_back(builtin_flash_fetch());
     return all;
   }();
   return kBuiltins;

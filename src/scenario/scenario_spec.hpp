@@ -35,6 +35,7 @@
 #include "net/conditions.hpp"
 #include "scenario/campaign.hpp"
 #include "scenario/churn.hpp"
+#include "scenario/content.hpp"
 #include "scenario/period.hpp"
 #include "scenario/population_spec.hpp"
 
@@ -95,6 +96,11 @@ struct ScenarioSpec {
   /// distributions and diurnal modulation.  Absent, the static session
   /// machinery runs unchanged (byte-for-byte; omitted from `to_json`).
   std::optional<ChurnSpec> churn;
+  /// The optional `"content"` section: a content-routing workload
+  /// (scenario/content.hpp) — publish/provide/republish chains over a
+  /// keyspace plus Bitswap fetch traffic.  Absent, the engine runs the
+  /// pre-content code path (byte-for-byte; omitted from `to_json`).
+  std::optional<ContentSpec> content;
   CampaignSettings campaign;
   OutputSettings output;
 

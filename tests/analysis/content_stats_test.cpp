@@ -1,0 +1,124 @@
+// analysis::content_stats: provide aggregates, provider-record
+// availability over time, records-at-vantage coverage, and fetch
+// success / latency CDFs (DESIGN.md §11).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/content_stats.hpp"
+
+namespace ipfs::analysis {
+namespace {
+
+using common::kHour;
+using common::kMinute;
+using measure::ContentSample;
+using measure::FetchSample;
+using measure::ProvideSample;
+
+TEST(ContentStats, ProvideAggregatesCountKeysProvidersAndRepublishes) {
+  const std::vector<ProvideSample> provides = {
+      {.at = 0, .key = 3, .provider = 1, .republish = false},
+      {.at = 1000, .key = 3, .provider = 2, .republish = false},
+      {.at = 2000, .key = 7, .provider = 1, .republish = false},
+      {.at = 3000, .key = 3, .provider = 1, .republish = true},
+  };
+  const ProvideStats stats = compute_provide_stats(provides);
+  EXPECT_EQ(stats.provides, 4u);
+  EXPECT_EQ(stats.republishes, 1u);
+  EXPECT_EQ(stats.distinct_keys, 2u);
+  EXPECT_EQ(stats.distinct_providers, 2u);
+  EXPECT_DOUBLE_EQ(stats.provides_per_key, 2.0);
+}
+
+TEST(ContentStats, ProvideAggregatesOfNothingAreZero) {
+  const ProvideStats stats = compute_provide_stats({});
+  EXPECT_EQ(stats.provides, 0u);
+  EXPECT_EQ(stats.distinct_keys, 0u);
+  EXPECT_DOUBLE_EQ(stats.provides_per_key, 0.0);
+}
+
+TEST(ContentStats, AvailabilityCountsLiveRecordsWithHalfOpenTtls) {
+  // Two records: [0, 2h) and [1h, 3h).  The grid hits 0, 1h, 2h, 3h.
+  const std::vector<ProvideSample> provides = {
+      {.at = 0, .key = 1, .provider = 1},
+      {.at = 1 * kHour, .key = 2, .provider = 2},
+  };
+  const auto series =
+      provider_availability_over_time(provides, /*ttl=*/2 * kHour,
+                                      /*step=*/1 * kHour, 0, 3 * kHour);
+  ASSERT_EQ(series.size(), 4u);
+  EXPECT_EQ(series[0].count, 1u);  // first record just published
+  EXPECT_EQ(series[1].count, 2u);  // both alive
+  EXPECT_EQ(series[2].count, 1u);  // first expired at exactly 2h (half-open)
+  EXPECT_EQ(series[3].count, 0u);  // both expired
+  EXPECT_EQ(series[1].at, 1 * kHour);
+}
+
+TEST(ContentStats, AvailabilityRejectsDegenerateGrids) {
+  EXPECT_TRUE(provider_availability_over_time({}, 0, kHour, 0, kHour).empty());
+  EXPECT_TRUE(provider_availability_over_time({}, kHour, 0, 0, kHour).empty());
+  EXPECT_TRUE(provider_availability_over_time({}, kHour, kHour, kHour, 0).empty());
+}
+
+TEST(ContentStats, RepublishKeepsAvailabilityUp) {
+  // One provider republishing every hour with a 2 h TTL never expires.
+  std::vector<ProvideSample> provides;
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    provides.push_back({.at = cycle * kHour, .key = 1, .provider = 1,
+                        .republish = cycle > 0});
+  }
+  const auto series = provider_availability_over_time(
+      provides, /*ttl=*/2 * kHour, /*step=*/30 * kMinute, 0, 5 * kHour);
+  for (const CountSample& sample : series) {
+    EXPECT_GE(sample.count, 1u) << "at=" << sample.at;
+  }
+}
+
+TEST(ContentStats, RecordCoverageDividesVantageByTruth) {
+  const std::vector<ContentSample> samples = {
+      {.at = 0, .vantage_records = 0, .vantage_keys = 0, .true_records = 0},
+      {.at = kHour, .vantage_records = 80, .vantage_keys = 40, .true_records = 100},
+      {.at = 2 * kHour, .vantage_records = 120, .vantage_keys = 50,
+       .true_records = 100},
+  };
+  const auto series = record_coverage(samples);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[0].coverage, 0.0);  // empty truth: defined as 0
+  EXPECT_DOUBLE_EQ(series[1].coverage, 0.8);
+  // Stale not-yet-expired records can push coverage above 1.
+  EXPECT_DOUBLE_EQ(series[2].coverage, 1.2);
+  EXPECT_EQ(series[1].vantage_keys, 40u);
+}
+
+TEST(ContentStats, FetchStatsSeparateLookupAndServeOutcomes) {
+  const std::vector<FetchSample> fetches = {
+      {.at = 0, .key = 1, .found_provider = true, .served = true, .latency = 120},
+      {.at = 1, .key = 2, .found_provider = true, .served = true, .latency = 80},
+      {.at = 2, .key = 3, .found_provider = true, .served = false, .latency = 0},
+      {.at = 3, .key = 4, .found_provider = false, .served = false, .latency = 0},
+  };
+  const FetchStats stats = compute_fetch_stats(fetches);
+  EXPECT_EQ(stats.fetches, 4u);
+  EXPECT_EQ(stats.found_provider, 3u);
+  EXPECT_EQ(stats.served, 2u);
+  EXPECT_DOUBLE_EQ(stats.lookup_success_rate, 0.75);
+  EXPECT_DOUBLE_EQ(stats.fetch_success_rate, 0.5);
+  EXPECT_DOUBLE_EQ(stats.mean_latency_ms, 100.0);
+  EXPECT_DOUBLE_EQ(stats.median_latency_ms, 100.0);
+  // The latency CDF covers served fetches only.
+  EXPECT_EQ(stats.latency_cdf.sorted_samples().size(), 2u);
+  EXPECT_DOUBLE_EQ(stats.latency_cdf.fraction_at_most(80.0), 0.5);
+  EXPECT_DOUBLE_EQ(stats.latency_cdf.fraction_at_most(120.0), 1.0);
+}
+
+TEST(ContentStats, FetchStatsOfNothingAreZero) {
+  const FetchStats stats = compute_fetch_stats({});
+  EXPECT_EQ(stats.fetches, 0u);
+  EXPECT_DOUBLE_EQ(stats.lookup_success_rate, 0.0);
+  EXPECT_DOUBLE_EQ(stats.fetch_success_rate, 0.0);
+  EXPECT_TRUE(stats.latency_cdf.sorted_samples().empty());
+}
+
+}  // namespace
+}  // namespace ipfs::analysis

@@ -74,6 +74,59 @@ TEST(Bitswap, MissingBlockNeverDelivers) {
   EXPECT_EQ(requester.bitswap().pending_wants(), 1u);
 }
 
+TEST(Bitswap, CancelWantsDropsOnlyThatPeersWants) {
+  FidelityNet net;
+  auto& provider = net.add_node();
+  auto& other = net.add_node();
+  auto& requester = net.add_node();
+  net.bootstrap_all();
+
+  bool fired = false;
+  requester.bitswap().want_block(provider.id(), Cid::from_seed(404),
+                                 [&](const Cid&) { fired = true; });
+  requester.bitswap().want_block(other.id(), Cid::from_seed(405), {});
+  ASSERT_EQ(requester.bitswap().pending_wants(), 2u);
+
+  requester.bitswap().cancel_wants(provider.id());
+  EXPECT_EQ(requester.bitswap().pending_wants(), 1u);
+  // The dropped callback is destroyed without firing, even if the block
+  // shows up later.
+  provider.bitswap().add_block(Cid::from_seed(404));
+  net.sim().run_until(net.sim().now() + 10 * kSecond);
+  EXPECT_FALSE(fired);
+
+  requester.bitswap().cancel_wants(other.id());
+  EXPECT_EQ(requester.bitswap().pending_wants(), 0u);
+}
+
+TEST(Bitswap, CancelOnDisconnectKeepsPendingWantsBoundedUnderChurn) {
+  // The leak satellite: a fetcher that wants blocks from peers that keep
+  // departing must not accumulate wanted_ entries forever — cancelling on
+  // each disconnect keeps pending_wants bounded by the in-flight set.
+  FidelityNet net;
+  auto& requester = net.add_node();
+  net.bootstrap_all();
+  for (std::uint64_t round = 0; round < 50; ++round) {
+    const p2p::PeerId peer = p2p::PeerId::from_seed(1000 + round);
+    requester.bitswap().want_block(peer, Cid::from_seed(2000 + round), {});
+    // The peer goes away without ever answering.
+    requester.bitswap().cancel_wants(peer);
+    EXPECT_EQ(requester.bitswap().pending_wants(), 0u) << "round " << round;
+  }
+}
+
+TEST(Bitswap, RemoveBlockEvictsFromTheStore) {
+  sim::Simulation sim;
+  net::Network network(sim, common::Rng(1));
+  BitswapEngine engine(network, p2p::PeerId::from_seed(1));
+  const Cid cid = Cid::from_seed(7);
+  EXPECT_FALSE(engine.remove_block(cid));  // absent: no-op
+  engine.add_block(cid);
+  EXPECT_TRUE(engine.remove_block(cid));
+  EXPECT_FALSE(engine.has_block(cid));
+  EXPECT_EQ(engine.store_size(), 0u);
+}
+
 TEST(Bitswap, UnsolicitedBlocksDropped) {
   sim::Simulation sim;
   net::Network network(sim, common::Rng(1));

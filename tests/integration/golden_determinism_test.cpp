@@ -127,5 +127,36 @@ TEST(GoldenDeterminism, GeoZonesSweepByteIdenticalAcrossWorkerCounts) {
   testing::expect_sweep_worker_invariant(spec);
 }
 
+TEST(GoldenDeterminism, ContentScenarioActuallyChangesOutput) {
+  // Sanity for the content subsystem: content-baseline with its section
+  // stripped must differ from the real thing (otherwise the workload
+  // engine is dead code).
+  ScenarioSpec spec = *ScenarioSpec::builtin("content-baseline");
+  spec.population.scale = kScale;
+  ScenarioSpec stripped = spec;
+  stripped.content.reset();
+  EXPECT_NE(run_to_json(spec.to_campaign_config()),
+            run_to_json(stripped.to_campaign_config()));
+}
+
+TEST(GoldenDeterminism, ContentExportMatchesPinnedHash) {
+  // FNV-1a (common::hash64) of the content-baseline export at scale 0.002,
+  // default seed — vantage dataset plus population/provide/fetch/content
+  // sample documents — recorded when scenario::ContentModel landed.  Every
+  // content draw is pure per (node, slot/fetch, cycle, seed), so this must
+  // never move — across worker counts or rebuilds.
+  const std::string exported = run_builtin("content-baseline", kScale);
+  ASSERT_FALSE(exported.empty());
+  EXPECT_EQ(common::hash64(exported), 0xf4be5116cf725575ULL)
+      << "content-baseline: content campaign export drifted from its pin";
+}
+
+TEST(GoldenDeterminism, ContentSweepByteIdenticalAcrossWorkerCounts) {
+  ScenarioSpec spec = *ScenarioSpec::builtin("flash-fetch");
+  spec.population.scale = kScale;
+  spec.campaign.trials = 3;
+  testing::expect_sweep_worker_invariant(spec);
+}
+
 }  // namespace
 }  // namespace ipfs::scenario

@@ -1,0 +1,185 @@
+// Property tests for the content-workload samplers (DESIGN.md §11):
+// publish counts track the configured rate, fetch gaps track the Poisson
+// rate, fetch keys show the popularity skew, and every draw is a pure
+// function of (node, slot/fetch, cycle, seed).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/stats.hpp"
+#include "scenario/content.hpp"
+
+namespace ipfs::scenario {
+namespace {
+
+using common::kHour;
+using common::kMinute;
+
+TEST(ContentModel, PublishCountTracksTheRateInExpectation) {
+  for (const double rate : {0.0, 0.5, 1.5, 2.0, 3.75}) {
+    ContentSpec spec;
+    spec.publishes_per_peer = rate;
+    const ContentModel model(spec, 77);
+    std::uint64_t total = 0;
+    constexpr std::uint32_t kNodes = 20'000;
+    for (std::uint32_t node = 0; node < kNodes; ++node) {
+      const std::uint32_t count = model.publish_count(node, Category::kNormalUser);
+      // The integer part is guaranteed; the fraction is at most one extra.
+      EXPECT_GE(count, static_cast<std::uint32_t>(rate));
+      EXPECT_LE(count, static_cast<std::uint32_t>(rate) + 1);
+      total += count;
+    }
+    EXPECT_NEAR(static_cast<double>(total) / kNodes, rate, 0.02) << "rate=" << rate;
+  }
+}
+
+TEST(ContentModel, FetchGapsTrackThePoissonRate) {
+  for (const double rate : {0.25, 1.0, 6.0}) {
+    ContentSpec spec;
+    spec.fetches_per_hour = rate;
+    const ContentModel model(spec, 3);
+    common::RunningStats stats;
+    for (std::uint32_t i = 0; i < 40'000; ++i) {
+      stats.add(static_cast<double>(
+          model.fetch_gap(i % 512, i / 512, Category::kNormalUser)));
+    }
+    const double analytic = static_cast<double>(kHour) / rate;
+    EXPECT_NEAR(stats.mean() / analytic, 1.0, 0.05) << "rate=" << rate;
+  }
+}
+
+TEST(ContentModel, FetchGapIsZeroWhenTheRateIsZero) {
+  ContentSpec spec;
+  spec.fetches_per_hour = 0.0;
+  const ContentModel model(spec, 1);
+  EXPECT_EQ(model.fetch_gap(4, 2, Category::kNormalUser), 0);
+}
+
+TEST(ContentModel, FetchKeysAreSkewedTowardsTheKeyspaceHead) {
+  const ContentModel model(ContentSpec{}, 9);
+  constexpr std::uint32_t kKeyspace = 100;
+  std::size_t head = 0;
+  constexpr std::uint32_t kDraws = 40'000;
+  for (std::uint32_t i = 0; i < kDraws; ++i) {
+    const std::uint32_t key = model.fetch_key(i % 256, i / 256, kKeyspace);
+    ASSERT_LT(key, kKeyspace);
+    if (key < kKeyspace / 4) ++head;
+  }
+  // u^2 bias: P(key < keyspace/4) = sqrt(1/4) = 1/2, against 1/4 uniform.
+  EXPECT_NEAR(static_cast<double>(head) / kDraws, 0.5, 0.02);
+}
+
+TEST(ContentModel, ProvidedKeysAreUniformOverTheKeyspace) {
+  const ContentModel model(ContentSpec{}, 21);
+  constexpr std::uint32_t kKeyspace = 16;
+  std::vector<std::size_t> counts(kKeyspace, 0);
+  constexpr std::uint32_t kDraws = 64'000;
+  for (std::uint32_t i = 0; i < kDraws; ++i) {
+    const std::uint32_t key = model.key_for(i % 512, i / 512, kKeyspace);
+    ASSERT_LT(key, kKeyspace);
+    ++counts[key];
+  }
+  for (const std::size_t count : counts) {
+    EXPECT_NEAR(static_cast<double>(count) * kKeyspace / kDraws, 1.0, 0.1);
+  }
+}
+
+TEST(ContentModel, FetchServedFractionTracksFetchSuccess) {
+  for (const double p : {0.0, 0.5, 0.97, 1.0}) {
+    ContentSpec spec;
+    spec.fetch_success = p;
+    const ContentModel model(spec, 5);
+    std::size_t served = 0;
+    constexpr std::uint32_t kDraws = 20'000;
+    for (std::uint32_t i = 0; i < kDraws; ++i) {
+      if (model.fetch_served(i % 256, i / 256)) ++served;
+    }
+    EXPECT_NEAR(static_cast<double>(served) / kDraws, p, 0.02) << "p=" << p;
+  }
+}
+
+TEST(ContentModel, DrawsArePureFunctionsOfCoordinatesAndSeed) {
+  const ContentModel model(ContentSpec{}, 42);
+  const ContentModel twin(ContentSpec{}, 42);
+
+  // Same coordinates => same value, regardless of call order or instance;
+  // different coordinates decorrelate.
+  const auto key = model.key_for(7, 3, 512);
+  (void)model.fetch_key(1000, 55, 512);  // interleaved calls must not matter
+  (void)model.initial_publish_delay(7, 3);
+  EXPECT_EQ(model.key_for(7, 3, 512), key);
+  EXPECT_EQ(twin.key_for(7, 3, 512), key);
+  EXPECT_EQ(twin.initial_publish_delay(7, 3), model.initial_publish_delay(7, 3));
+  EXPECT_EQ(twin.republish_jitter(7, 3, 2), model.republish_jitter(7, 3, 2));
+  EXPECT_NE(model.republish_jitter(7, 3, 2), model.republish_jitter(7, 3, 3));
+  EXPECT_EQ(twin.fetch_gap(9, 1, Category::kNormalUser),
+            model.fetch_gap(9, 1, Category::kNormalUser));
+  EXPECT_EQ(twin.key_cid(31), model.key_cid(31));
+  EXPECT_NE(model.key_cid(31), model.key_cid(32));
+
+  const ContentModel reseeded(ContentSpec{}, 43);
+  EXPECT_NE(reseeded.key_cid(31), model.key_cid(31));
+  EXPECT_NE(reseeded.initial_publish_delay(7, 3), model.initial_publish_delay(7, 3));
+}
+
+TEST(ContentModel, DelaysStayInsideThePublishSpread) {
+  ContentSpec spec;
+  spec.publish_spread = 10 * kMinute;
+  const ContentModel model(spec, 8);
+  for (std::uint32_t node = 0; node < 256; ++node) {
+    EXPECT_GE(model.initial_publish_delay(node, 0), 0);
+    EXPECT_LT(model.initial_publish_delay(node, 0), 10 * kMinute);
+    EXPECT_GE(model.republish_jitter(node, 0, 1), 0);
+    EXPECT_LT(model.republish_jitter(node, 0, 1), 10 * kMinute);
+  }
+}
+
+TEST(ContentModel, CategoryOverridesSelectTheirRates) {
+  ContentSpec spec;
+  spec.publishes_per_peer = 1.0;
+  spec.fetches_per_hour = 1.0;
+  ContentCategorySpec server;
+  server.category = Category::kCoreServer;
+  server.publishes_per_peer = 8.0;
+  server.fetches_per_hour = 0.0;
+  spec.categories = {server};
+  const ContentModel model(spec, 6);
+
+  EXPECT_DOUBLE_EQ(model.publish_rate(Category::kNormalUser), 1.0);
+  EXPECT_DOUBLE_EQ(model.publish_rate(Category::kCoreServer), 8.0);
+  EXPECT_DOUBLE_EQ(model.fetch_rate(Category::kCoreServer), 0.0);
+  EXPECT_EQ(model.publish_count(12, Category::kCoreServer), 8u);
+  EXPECT_EQ(model.fetch_gap(12, 0, Category::kCoreServer), 0);
+}
+
+TEST(ContentSpec, ValidateAcceptsDefaultsAndRejectsProgrammaticMistakes) {
+  EXPECT_EQ(ContentSpec::validate(ContentSpec{}), std::nullopt);
+
+  ContentSpec bad;
+  bad.keys = 0;
+  ASSERT_TRUE(ContentSpec::validate(bad).has_value());
+  EXPECT_NE(ContentSpec::validate(bad)->find("keys must be >= 1"),
+            std::string::npos);
+
+  bad = ContentSpec{};
+  bad.republish_interval = bad.provider_ttl;
+  ASSERT_TRUE(ContentSpec::validate(bad).has_value());
+  EXPECT_NE(ContentSpec::validate(bad)->find(
+                "republish_interval_ms must be < provider_ttl_ms"),
+            std::string::npos);
+
+  bad = ContentSpec{};
+  bad.fetch_success = 1.5;
+  EXPECT_NE(ContentSpec::validate(bad), std::nullopt);
+
+  bad = ContentSpec{};
+  ContentCategorySpec duplicate;
+  duplicate.category = Category::kCrawler;
+  bad.categories = {duplicate, duplicate};
+  ASSERT_TRUE(ContentSpec::validate(bad).has_value());
+  EXPECT_NE(ContentSpec::validate(bad)->find("duplicate category override"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ipfs::scenario

@@ -100,10 +100,11 @@ std::optional<ScenarioSpec> load_scenario(const std::string& ref,
 int cmd_list(const std::vector<std::string>& args) {
   std::cout << "builtin scenarios:\n";
   for (const ScenarioSpec& spec : ScenarioSpec::builtins()) {
-    // Flag workloads that reshape the fabric (DESIGN.md §9) or animate a
-    // peer lifecycle (§10).
+    // Flag workloads that reshape the fabric (DESIGN.md §9), animate a
+    // peer lifecycle (§10), or route content (§11).
     std::cout << "  " << spec.name << (spec.network ? "  [conditions]" : "")
-              << (spec.churn ? "  [churn]" : "") << "\n      "
+              << (spec.churn ? "  [churn]" : "")
+              << (spec.content ? "  [content]" : "") << "\n      "
               << spec.description << "\n";
   }
   const std::string dir = args.empty() ? "scenarios" : args[0];
@@ -171,6 +172,18 @@ class ProgressSink final : public MeasurementSink {
     ++population_samples_;
     (void)sample;
   }
+  void on_provide(const ipfs::measure::ProvideSample& sample) override {
+    ++provides_;
+    (void)sample;
+  }
+  void on_fetch(const ipfs::measure::FetchSample& sample) override {
+    ++fetches_;
+    (void)sample;
+  }
+  void on_content(const ipfs::measure::ContentSample& sample) override {
+    ++content_samples_;
+    (void)sample;
+  }
   void on_dataset(ipfs::measure::DatasetRole role,
                   ipfs::measure::Dataset dataset) override {
     std::cerr << "   dataset " << ipfs::measure::to_string(role) << " ("
@@ -184,14 +197,24 @@ class ProgressSink final : public MeasurementSink {
     if (population_samples_ > 0) {
       std::cerr << ", " << population_samples_ << " churn population samples";
     }
+    if (provides_ > 0 || fetches_ > 0) {
+      std::cerr << ", " << provides_ << " provides, " << fetches_
+                << " fetches, " << content_samples_ << " record samples";
+    }
     std::cerr << "\n";
     crawls_ = 0;
     population_samples_ = 0;
+    provides_ = 0;
+    fetches_ = 0;
+    content_samples_ = 0;
   }
 
  private:
   std::size_t crawls_ = 0;
   std::size_t population_samples_ = 0;
+  std::size_t provides_ = 0;
+  std::size_t fetches_ = 0;
+  std::size_t content_samples_ = 0;
 };
 
 int cmd_run(const std::vector<std::string>& args) {
