@@ -16,15 +16,19 @@
 //   campaign     sequential vs. ParallelTrialRunner wall-clock for a
 //                multi-seed campaign sweep
 //
-// Usage:  perf_suite [--smoke] [--out FILE]
-//   --smoke   tiny sizes for CI (seconds, no timing assertions)
-//   --out     output path, default ./BENCH_core.json
+// Usage:  perf_suite [--smoke] [--out FILE] [--check-baseline FILE]
+//   --smoke           tiny sizes for CI (seconds, no timing assertions)
+//   --out             output path, default ./BENCH_core.json
+//   --check-baseline  compare event_queue.ns_per_event against a committed
+//                     BENCH_core.json; exit 1 on a >25% regression (the
+//                     scheduler guardrail — see DESIGN.md §12)
 // IPFS_SCALE / IPFS_SEED tune the campaign section (see bench/README.md).
 #include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <string>
 #include <thread>
 #include <vector>
@@ -37,6 +41,7 @@
 #include "runtime/parallel.hpp"
 #include "scenario/churn.hpp"
 #include "scenario/content.hpp"
+#include "sim/reference_scheduler.hpp"
 #include "sim/simulation.hpp"
 
 namespace {
@@ -123,30 +128,82 @@ LookupNumbers bench_lookup(bool smoke) {
 
 struct EventQueueNumbers {
   std::size_t events = 0;
-  double ns_per_event = 0.0;
+  double ns_per_event = 0.0;       ///< bulk load: schedule all, then drain
+  double hold_ns_per_event = 0.0;  ///< steady state: each event reschedules
+  double heap_ns_per_event = 0.0;  ///< ReferenceHeapSimulation, bulk workload
+  double speedup_vs_heap = 0.0;
 };
+
+/// Bulk shape: schedule `events` one-shot events at uniform times, then drain.
+/// This is the historical `ns_per_event` metric (guardrail continuity).
+template <typename Sim>
+double bulk_workload_ns(std::size_t events) {
+  Rng rng(0xe7e);
+  Sim simulation;
+  volatile std::uint64_t sink_value = 0;
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < events; ++i) {
+    simulation.schedule_at(
+        static_cast<ipfs::common::SimTime>(rng.uniform_u64(events)),
+        [&sink_value] { sink_value = sink_value + 1; });
+  }
+  simulation.run();
+  const double ns = elapsed_ms(start) * 1e6 / static_cast<double>(events);
+
+  if (simulation.executed_events() != events) {
+    std::cerr << "event count mismatch\n";
+    std::exit(1);
+  }
+  return ns;
+}
+
+/// Hold shape (classic event-queue benchmark): a steady queue of `depth`
+/// pending events where every execution schedules one successor — the shape
+/// of a running campaign, where timers reschedule and arena slots recycle.
+double hold_workload_ns(std::size_t events) {
+  struct Ctx {
+    ipfs::sim::Simulation simulation;
+    Rng rng{0x401d};
+    std::uint64_t executed = 0;
+  } ctx;
+  constexpr std::size_t kDepth = 10'000;
+  // Single-pointer capture: stays within std::function's inline buffer, so
+  // the measurement is the queue, not closure heap allocation.
+  const auto hop = [&ctx](auto&& self) -> void {
+    ++ctx.executed;
+    ctx.simulation.schedule_after(
+        static_cast<ipfs::common::SimDuration>(ctx.rng.uniform_u64(10'000) + 1),
+        [&ctx, self] { self(self); });
+  };
+  for (std::size_t i = 0; i < kDepth; ++i) {
+    ctx.simulation.schedule_at(
+        static_cast<ipfs::common::SimTime>(ctx.rng.uniform_u64(10'000)),
+        [&ctx, hop] { hop(hop); });
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t steps = 0;
+  while (steps < events && ctx.simulation.step()) ++steps;
+  const double ns = elapsed_ms(start) * 1e6 / static_cast<double>(steps);
+
+  if (ctx.executed < events) {
+    std::cerr << "hold workload drained early\n";
+    std::exit(1);
+  }
+  return ns;
+}
 
 EventQueueNumbers bench_event_queue(bool smoke) {
   EventQueueNumbers numbers;
   numbers.events = smoke ? 50'000 : 2'000'000;
-  Rng rng(0xe7e);
-  ipfs::sim::Simulation simulation;
-  volatile std::uint64_t sink_value = 0;
-
-  const auto start = std::chrono::steady_clock::now();
-  for (std::size_t i = 0; i < numbers.events; ++i) {
-    simulation.schedule_at(
-        static_cast<ipfs::common::SimTime>(rng.uniform_u64(numbers.events)),
-        [&sink_value] { sink_value = sink_value + 1; });
-  }
-  simulation.run();
-  numbers.ns_per_event =
-      elapsed_ms(start) * 1e6 / static_cast<double>(numbers.events);
-
-  if (simulation.executed_events() != numbers.events) {
-    std::cerr << "event count mismatch\n";
-    std::exit(1);
-  }
+  numbers.ns_per_event = bulk_workload_ns<ipfs::sim::Simulation>(numbers.events);
+  numbers.hold_ns_per_event = hold_workload_ns(numbers.events);
+  // Same workload, same process, same host: the retained binary-heap engine
+  // (the oracle of tests/sim/scheduler_oracle_test.cpp) as the baseline.
+  numbers.heap_ns_per_event =
+      bulk_workload_ns<ipfs::sim::ReferenceHeapSimulation>(numbers.events);
+  numbers.speedup_vs_heap = numbers.heap_ns_per_event / numbers.ns_per_event;
   return numbers;
 }
 
@@ -397,18 +454,65 @@ CampaignNumbers bench_campaign(bool smoke) {
   return numbers;
 }
 
+// ---- baseline guardrail -----------------------------------------------------
+
+/// Compares a fresh event_queue measurement against the committed
+/// BENCH_core.json.  Returns false (after printing why) when the scheduler
+/// regressed more than 25% — the CI guardrail for the ladder-queue engine.
+bool check_event_queue_baseline(const std::string& baseline_path,
+                                const EventQueueNumbers& fresh) {
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::cerr << "check-baseline: cannot open " << baseline_path << "\n";
+    return false;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const auto parsed = ipfs::common::JsonValue::parse(text);
+  if (!parsed.has_value()) {
+    std::cerr << "check-baseline: " << baseline_path << ": " << parsed.error()
+              << "\n";
+    return false;
+  }
+  const ipfs::common::JsonValue* section = parsed->find("event_queue");
+  const ipfs::common::JsonValue* ns =
+      section != nullptr ? section->find("ns_per_event") : nullptr;
+  if (ns == nullptr || !ns->is_number()) {
+    std::cerr << "check-baseline: " << baseline_path
+              << " has no event_queue.ns_per_event\n";
+    return false;
+  }
+  const double committed = ns->as_double();
+  constexpr double kTolerance = 1.25;
+  std::cout << "\ncheck-baseline: event_queue " << fresh.ns_per_event
+            << " ns/event vs committed " << committed << " (limit "
+            << committed * kTolerance << ")\n";
+  if (fresh.ns_per_event > committed * kTolerance) {
+    std::cerr << "check-baseline: FAIL — event_queue regressed more than 25% "
+              << "(got " << fresh.ns_per_event << " ns/event, committed "
+              << committed << "); if the change is intentional, regenerate "
+              << "BENCH_core.json (bench/README.md)\n";
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string out_path = "BENCH_core.json";
+  std::string baseline_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--check-baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
     } else {
-      std::cerr << "usage: perf_suite [--smoke] [--out FILE]\n";
+      std::cerr << "usage: perf_suite [--smoke] [--out FILE] "
+                   "[--check-baseline FILE]\n";
       return 2;
     }
   }
@@ -426,7 +530,11 @@ int main(int argc, char** argv) {
   std::cout << "[2/6] event queue: schedule + drain ...\n";
   const EventQueueNumbers events = bench_event_queue(smoke);
   std::cout << "      " << events.events << " events, " << events.ns_per_event
-            << " ns/event (" << 1e9 / events.ns_per_event << " events/s)\n";
+            << " ns/event bulk (" << 1e9 / events.ns_per_event
+            << " events/s), " << events.hold_ns_per_event
+            << " ns/event hold; binary-heap baseline "
+            << events.heap_ns_per_event << " ns/event ("
+            << events.speedup_vs_heap << "x)\n";
 
   std::cout << "[3/6] conditions: ConditionModel sampling ...\n";
   const ConditionNumbers conditions = bench_conditions(smoke);
@@ -474,6 +582,9 @@ int main(int argc, char** argv) {
   json.field("events", static_cast<std::uint64_t>(events.events));
   json.field("ns_per_event", events.ns_per_event);
   json.field("events_per_sec", 1e9 / events.ns_per_event);
+  json.field("hold_ns_per_event", events.hold_ns_per_event);
+  json.field("heap_baseline_ns_per_event", events.heap_ns_per_event);
+  json.field("speedup_vs_heap", events.speedup_vs_heap);
   json.end_object();
   json.key("conditions");
   json.begin_object();
@@ -518,5 +629,9 @@ int main(int argc, char** argv) {
   out << "\n";
 
   std::cout << "\nwrote " << out_path << "\n";
+
+  if (!baseline_path.empty() && !check_event_queue_baseline(baseline_path, events)) {
+    return 1;
+  }
   return 0;
 }

@@ -1,6 +1,10 @@
 #include "measure/sink.hpp"
 
+#include <cstdio>
+#include <optional>
 #include <ostream>
+#include <sstream>
+#include <streambuf>
 #include <type_traits>
 #include <utility>
 
@@ -123,20 +127,136 @@ void FanOutSink::on_run_end(const RunSummary& summary) {
   for (MeasurementSink* sink : sinks_) sink->on_run_end(summary);
 }
 
+namespace {
+
+/// Minimal write-only streambuf over a C `FILE*`: lets a `JsonWriter`
+/// render straight into a `std::tmpfile()` spool.
+class FileStreambuf final : public std::streambuf {
+ public:
+  explicit FileStreambuf(std::FILE* file) : file_(file) {}
+
+ protected:
+  int overflow(int ch) override {
+    if (traits_type::eq_int_type(ch, traits_type::eof())) return 0;
+    return std::fputc(ch, file_) == EOF ? traits_type::eof() : ch;
+  }
+  std::streamsize xsputn(const char* data, std::streamsize count) override {
+    return static_cast<std::streamsize>(
+        std::fwrite(data, 1, static_cast<std::size_t>(count), file_));
+  }
+
+ private:
+  std::FILE* file_;
+};
+
+}  // namespace
+
+/// One in-flight sample document.  Samples render into the spool as they
+/// arrive; at run end the finished document is copied to the output and the
+/// spool discarded.  The backing store is an unnamed temporary file so
+/// memory stays O(1) in the sample count; when the platform refuses a
+/// tmpfile the spool degrades to an in-memory buffer (same bytes, old
+/// memory profile).
+struct JsonExportSink::Spool {
+  std::FILE* file = nullptr;
+  std::optional<FileStreambuf> filebuf;
+  std::ostringstream memory;  ///< fallback when `file` is null
+  std::optional<std::ostream> stream;
+  std::optional<common::JsonWriter> writer;
+
+  ~Spool() {
+    if (file != nullptr) std::fclose(file);
+  }
+};
+
+JsonExportSink::JsonExportSink(std::ostream& out) : out_(out) {}
+
+JsonExportSink::JsonExportSink(std::ostream& out, Options options)
+    : out_(out), options_(options) {}
+
+JsonExportSink::~JsonExportSink() = default;
+
+JsonExportSink::Spool& JsonExportSink::spool(std::unique_ptr<Spool>& slot,
+                                             std::string_view document_key) {
+  if (!slot) {
+    slot = std::make_unique<Spool>();
+    slot->file = std::tmpfile();
+    if (slot->file != nullptr) {
+      slot->filebuf.emplace(slot->file);
+      slot->stream.emplace(&*slot->filebuf);
+    } else {
+      slot->stream.emplace(slot->memory.rdbuf());
+    }
+    slot->writer.emplace(*slot->stream, options_.pretty);
+    slot->writer->begin_object();
+    slot->writer->key(document_key);
+    slot->writer->begin_array();
+  }
+  return *slot;
+}
+
+void JsonExportSink::splice(std::unique_ptr<Spool>& slot) {
+  if (!slot) return;
+  slot->writer->end_array();
+  slot->writer->end_object();
+  *slot->stream << "\n";
+  slot->stream->flush();
+  if (slot->file != nullptr) {
+    std::fflush(slot->file);
+    std::rewind(slot->file);
+    char buffer[1 << 16];
+    std::size_t count = 0;
+    while ((count = std::fread(buffer, 1, sizeof buffer, slot->file)) > 0) {
+      out_.write(buffer, static_cast<std::streamsize>(count));
+    }
+  } else {
+    out_ << slot->memory.str();
+  }
+  slot.reset();
+}
+
 void JsonExportSink::on_population(const PopulationSample& sample) {
-  population_.push_back(sample);
+  Spool& spool = this->spool(population_, "population_samples");
+  spool.writer->begin_object();
+  spool.writer->field("at_ms", static_cast<std::int64_t>(sample.at));
+  spool.writer->field("online", static_cast<std::uint64_t>(sample.online));
+  spool.writer->field("total", static_cast<std::uint64_t>(sample.total));
+  spool.writer->field("connected", static_cast<std::uint64_t>(sample.connected));
+  spool.writer->end_object();
 }
 
 void JsonExportSink::on_provide(const ProvideSample& sample) {
-  provides_.push_back(sample);
+  Spool& spool = this->spool(provides_, "provide_samples");
+  spool.writer->begin_object();
+  spool.writer->field("at_ms", static_cast<std::int64_t>(sample.at));
+  spool.writer->field("key", static_cast<std::uint64_t>(sample.key));
+  spool.writer->field("provider", static_cast<std::uint64_t>(sample.provider));
+  spool.writer->field("republish", sample.republish);
+  spool.writer->end_object();
 }
 
 void JsonExportSink::on_fetch(const FetchSample& sample) {
-  fetches_.push_back(sample);
+  Spool& spool = this->spool(fetches_, "fetch_samples");
+  spool.writer->begin_object();
+  spool.writer->field("at_ms", static_cast<std::int64_t>(sample.at));
+  spool.writer->field("key", static_cast<std::uint64_t>(sample.key));
+  spool.writer->field("found_provider", sample.found_provider);
+  spool.writer->field("served", sample.served);
+  spool.writer->field("latency_ms", static_cast<std::int64_t>(sample.latency));
+  spool.writer->end_object();
 }
 
 void JsonExportSink::on_content(const ContentSample& sample) {
-  content_.push_back(sample);
+  Spool& spool = this->spool(content_, "content_samples");
+  spool.writer->begin_object();
+  spool.writer->field("at_ms", static_cast<std::int64_t>(sample.at));
+  spool.writer->field("vantage_records",
+                      static_cast<std::uint64_t>(sample.vantage_records));
+  spool.writer->field("vantage_keys",
+                      static_cast<std::uint64_t>(sample.vantage_keys));
+  spool.writer->field("true_records",
+                      static_cast<std::uint64_t>(sample.true_records));
+  spool.writer->end_object();
 }
 
 void JsonExportSink::on_dataset(DatasetRole role, Dataset dataset) {
@@ -148,82 +268,12 @@ void JsonExportSink::on_dataset(DatasetRole role, Dataset dataset) {
 
 void JsonExportSink::on_run_end(const RunSummary& summary) {
   (void)summary;
-  // Non-churned, non-content runs export nothing extra here, so legacy
-  // exports stay byte-identical.
-  if (!population_.empty()) {
-    common::JsonWriter writer(out_, options_.pretty);
-    writer.begin_object();
-    writer.key("population_samples");
-    writer.begin_array();
-    for (const PopulationSample& sample : population_) {
-      writer.begin_object();
-      writer.field("at_ms", static_cast<std::int64_t>(sample.at));
-      writer.field("online", static_cast<std::uint64_t>(sample.online));
-      writer.field("total", static_cast<std::uint64_t>(sample.total));
-      writer.field("connected", static_cast<std::uint64_t>(sample.connected));
-      writer.end_object();
-    }
-    writer.end_array();
-    writer.end_object();
-    out_ << "\n";
-    population_.clear();
-  }
-  if (!provides_.empty()) {
-    common::JsonWriter writer(out_, options_.pretty);
-    writer.begin_object();
-    writer.key("provide_samples");
-    writer.begin_array();
-    for (const ProvideSample& sample : provides_) {
-      writer.begin_object();
-      writer.field("at_ms", static_cast<std::int64_t>(sample.at));
-      writer.field("key", static_cast<std::uint64_t>(sample.key));
-      writer.field("provider", static_cast<std::uint64_t>(sample.provider));
-      writer.field("republish", sample.republish);
-      writer.end_object();
-    }
-    writer.end_array();
-    writer.end_object();
-    out_ << "\n";
-    provides_.clear();
-  }
-  if (!fetches_.empty()) {
-    common::JsonWriter writer(out_, options_.pretty);
-    writer.begin_object();
-    writer.key("fetch_samples");
-    writer.begin_array();
-    for (const FetchSample& sample : fetches_) {
-      writer.begin_object();
-      writer.field("at_ms", static_cast<std::int64_t>(sample.at));
-      writer.field("key", static_cast<std::uint64_t>(sample.key));
-      writer.field("found_provider", sample.found_provider);
-      writer.field("served", sample.served);
-      writer.field("latency_ms", static_cast<std::int64_t>(sample.latency));
-      writer.end_object();
-    }
-    writer.end_array();
-    writer.end_object();
-    out_ << "\n";
-    fetches_.clear();
-  }
-  if (!content_.empty()) {
-    common::JsonWriter writer(out_, options_.pretty);
-    writer.begin_object();
-    writer.key("content_samples");
-    writer.begin_array();
-    for (const ContentSample& sample : content_) {
-      writer.begin_object();
-      writer.field("at_ms", static_cast<std::int64_t>(sample.at));
-      writer.field("vantage_records",
-                   static_cast<std::uint64_t>(sample.vantage_records));
-      writer.field("vantage_keys", static_cast<std::uint64_t>(sample.vantage_keys));
-      writer.field("true_records", static_cast<std::uint64_t>(sample.true_records));
-      writer.end_object();
-    }
-    writer.end_array();
-    writer.end_object();
-    out_ << "\n";
-    content_.clear();
-  }
+  // Non-churned, non-content runs opened no spool and export nothing extra
+  // here, so legacy exports stay byte-identical.
+  splice(population_);
+  splice(provides_);
+  splice(fetches_);
+  splice(content_);
 }
 
 }  // namespace ipfs::measure

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <initializer_list>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -238,13 +239,19 @@ class FanOutSink final : public MeasurementSink {
 
 /// Streams datasets as JSON to an ostream the moment they are published —
 /// the sink equivalent of the paper's periodic JSON dumps (§III-A).
-/// Churned runs additionally publish ground-truth `PopulationSample`s;
-/// the sink buffers those and appends one `population_samples` document
-/// per run after the datasets, so CLI artifacts carry the
-/// observed-vs-true baseline too (runs without churn emit nothing extra
-/// — legacy exports stay byte-identical).  Content-enabled runs likewise
-/// buffer `ProvideSample` / `FetchSample` / `ContentSample` streams and
-/// append one document per non-empty stream after the population one.
+/// Churned runs additionally publish ground-truth `PopulationSample`s,
+/// exported as one `population_samples` document per run after the
+/// datasets (runs without churn emit nothing extra — legacy exports stay
+/// byte-identical).  Content-enabled runs likewise get one
+/// `provide_samples` / `fetch_samples` / `content_samples` document per
+/// non-empty stream, in that order after the population one.
+///
+/// Samples are *streamed*, not buffered: each one is rendered to its
+/// document's spool (an unnamed temporary file) the moment it arrives and
+/// the finished documents are spliced into the output at run end.  Memory
+/// stays O(1) in the sample count, which is what lets million-peer
+/// campaigns export their ground-truth streams; the spliced bytes are
+/// identical to the former buffer-everything implementation.
 class JsonExportSink final : public MeasurementSink {
  public:
   struct Options {
@@ -257,9 +264,9 @@ class JsonExportSink final : public MeasurementSink {
     std::optional<DatasetRole> role_filter;
   };
 
-  explicit JsonExportSink(std::ostream& out) : out_(out) {}
-  JsonExportSink(std::ostream& out, Options options)
-      : out_(out), options_(options) {}
+  explicit JsonExportSink(std::ostream& out);
+  JsonExportSink(std::ostream& out, Options options);
+  ~JsonExportSink() override;
 
   void on_population(const PopulationSample& sample) override;
   void on_provide(const ProvideSample& sample) override;
@@ -271,13 +278,21 @@ class JsonExportSink final : public MeasurementSink {
   [[nodiscard]] std::size_t exported_count() const noexcept { return exported_; }
 
  private:
+  struct Spool;  // one per in-flight sample document; see sink.cpp
+
+  /// The spool for `slot`, opened (and its document header written) on
+  /// first use.
+  Spool& spool(std::unique_ptr<Spool>& slot, std::string_view document_key);
+  /// Close `slot`'s document and copy its bytes to the output.
+  void splice(std::unique_ptr<Spool>& slot);
+
   std::ostream& out_;
   Options options_;
   std::size_t exported_ = 0;
-  std::vector<PopulationSample> population_;  ///< buffered until run end
-  std::vector<ProvideSample> provides_;       ///< buffered until run end
-  std::vector<FetchSample> fetches_;          ///< buffered until run end
-  std::vector<ContentSample> content_;        ///< buffered until run end
+  std::unique_ptr<Spool> population_;
+  std::unique_ptr<Spool> provides_;
+  std::unique_ptr<Spool> fetches_;
+  std::unique_ptr<Spool> content_;
 };
 
 }  // namespace ipfs::measure

@@ -206,12 +206,27 @@ struct CampaignEngine::Impl {
     }
   };
 
-  struct PeerState {
-    bool online = false;
-    SimTime session_end = 0;
-    SimTime last_online = -common::kDay;  ///< for stale routing entries
-    std::uint32_t session_index = 0;      ///< sessions started (churn mode)
-    std::uint32_t fetch_index = 0;        ///< fetches drawn (content mode)
+  /// Hot per-peer campaign state, struct-of-arrays.  The periodic
+  /// whole-population sweeps — the ground-truth online count every churn
+  /// sample interval, the true-record count every content sample interval,
+  /// the gossip staleness walk — each read one or two fields for *every*
+  /// peer; parallel arrays keep those sweeps dense (one byte per peer for
+  /// the online scan) instead of striding a five-field record, which is
+  /// what lets million-peer populations sample at full cadence.
+  struct PeerStates {
+    std::vector<std::uint8_t> online;          ///< 0/1, dense for population scans
+    std::vector<SimTime> session_end;
+    std::vector<SimTime> last_online;          ///< for stale routing entries
+    std::vector<std::uint32_t> session_index;  ///< sessions started (churn mode)
+    std::vector<std::uint32_t> fetch_index;    ///< fetches drawn (content mode)
+
+    void assign(std::size_t count) {
+      online.assign(count, 0);
+      session_end.assign(count, 0);
+      last_online.assign(count, -common::kDay);
+      session_index.assign(count, 0);
+      fetch_index.assign(count, 0);
+    }
   };
 
   /// A minimal Bitswap participant on the content network: one swarm (for
@@ -282,7 +297,7 @@ struct CampaignEngine::Impl {
                    1 * kMinute, static_cast<std::uint16_t>(3001 + head));
     }
 
-    peer_states.assign(population.peers().size(), PeerState{});
+    peer_states.assign(population.peers().size());
     maintained_flags.assign(population.peers().size() * vantages.size(), 0);
     for (const RemotePeer& peer : population.peers()) {
       pid_to_peer.emplace(peer.pid, peer.index);
@@ -392,7 +407,7 @@ struct CampaignEngine::Impl {
   // input — the time a gap starts — is itself deterministic under the same
   // seed.  Session teardown rides the existing machinery: connections
   // opened during a session were scheduled to close no later than
-  // `state.session_end`, so a departing peer's links die with it and the
+  // the peer's `session_end`, so a departing peer's links die with it and the
   // vantage attributes them to `kPeerOffline`.
 
   void schedule_churned_population() {
@@ -417,8 +432,7 @@ struct CampaignEngine::Impl {
   void schedule_churn_session(std::uint32_t index, SimDuration delay) {
     simulation.schedule_after(delay, [this, index] {
       if (simulation.now() >= config.period.duration) return;
-      PeerState& state = peer_states[index];
-      const std::uint32_t session = state.session_index++;
+      const std::uint32_t session = peer_states.session_index[index]++;
       RemotePeer& peer = population.peers()[index];
       // Rejoining peers keep their PeerId but may come back from their
       // other IP — the §V-A dual-homing rules applied per session (the
@@ -450,8 +464,8 @@ struct CampaignEngine::Impl {
           measure::PopulationSample sample;
           sample.at = simulation.now();
           sample.total = population.peers().size();
-          for (const PeerState& state : peer_states) {
-            if (state.online) ++sample.online;
+          for (const std::uint8_t online : peer_states.online) {
+            sample.online += online;
           }
           std::unordered_set<std::uint32_t> connected;
           for (const Vantage& vantage : vantages) {
@@ -500,7 +514,7 @@ struct CampaignEngine::Impl {
   void start_content_session(std::uint32_t index) {
     const RemotePeer& peer = population.peers()[index];
     const std::uint32_t count = content->publish_count(index, peer.category);
-    const SimTime session_end = peer_states[index].session_end;
+    const SimTime session_end = peer_states.session_end[index];
     for (std::uint32_t slot = 0; slot < count; ++slot) {
       const SimTime at =
           simulation.now() + content->initial_publish_delay(index, slot);
@@ -517,8 +531,10 @@ struct CampaignEngine::Impl {
   /// 12 h republish cycle while the session lasts.
   void provide(std::uint32_t index, std::uint32_t slot, std::uint32_t cycle,
                SimTime session_end) {
-    const PeerState& state = peer_states[index];
-    if (!state.online || state.session_end != session_end) return;
+    if (peer_states.online[index] == 0 ||
+        peer_states.session_end[index] != session_end) {
+      return;
+    }
     if (simulation.now() >= config.period.duration) return;
     const RemotePeer& peer = population.peers()[index];
     const std::uint32_t key = content->key_for(index, slot, content_keyspace);
@@ -546,15 +562,16 @@ struct CampaignEngine::Impl {
   void schedule_next_fetch(std::uint32_t index) {
     const RemotePeer& peer = population.peers()[index];
     if (content->fetch_rate(peer.category) <= 0.0) return;
-    const PeerState& state = peer_states[index];
-    const std::uint32_t fetch = state.fetch_index;
+    const std::uint32_t fetch = peer_states.fetch_index[index];
     const auto gap = std::max<SimDuration>(
         content->fetch_gap(index, fetch, peer.category), kSecond);
     const SimTime at = simulation.now() + gap;
-    if (at >= state.session_end || at >= config.period.duration) return;
-    peer_states[index].fetch_index = fetch + 1;
+    if (at >= peer_states.session_end[index] || at >= config.period.duration) {
+      return;
+    }
+    peer_states.fetch_index[index] = fetch + 1;
     simulation.schedule_at(at, [this, index, fetch] {
-      if (!peer_states[index].online) return;
+      if (peer_states.online[index] == 0) return;
       do_fetch(index, fetch);
       schedule_next_fetch(index);
     });
@@ -702,7 +719,7 @@ struct CampaignEngine::Impl {
             sample.vantage_keys += cv.records->key_count();
           }
           for (const RemotePeer& peer : population.peers()) {
-            if (!peer_states[peer.index].online) continue;
+            if (peer_states.online[peer.index] == 0) continue;
             sample.true_records += content->publish_count(peer.index, peer.category);
           }
           if (content_sink != nullptr) content_sink->on_content(sample);
@@ -716,10 +733,9 @@ struct CampaignEngine::Impl {
   }
 
   void start_session(std::uint32_t index, SimTime session_end) {
-    PeerState& state = peer_states[index];
-    if (state.online) return;
-    state.online = true;
-    state.session_end = session_end;
+    if (peer_states.online[index] != 0) return;
+    peer_states.online[index] = 1;
+    peer_states.session_end[index] = session_end;
     const RemotePeer& peer = population.peers()[index];
     const CategoryParams& params = config.population.params(peer.category);
     common::Rng prng = peer_rng(index);
@@ -747,10 +763,12 @@ struct CampaignEngine::Impl {
   }
 
   void end_session(std::uint32_t index, SimTime expected_end) {
-    PeerState& state = peer_states[index];
-    if (!state.online || state.session_end != expected_end) return;
-    state.online = false;
-    state.last_online = simulation.now();
+    if (peer_states.online[index] == 0 ||
+        peer_states.session_end[index] != expected_end) {
+      return;
+    }
+    peer_states.online[index] = 0;
+    peer_states.last_online[index] = simulation.now();
     const RemotePeer& peer = population.peers()[index];
     if (peer.dht_server) remove_online_server(index);
     if (content) end_content_session(index);
@@ -771,8 +789,10 @@ struct CampaignEngine::Impl {
   }
 
   void open_maintained(std::uint32_t index, std::size_t v) {
-    PeerState& state = peer_states[index];
-    if (!state.online || simulation.now() >= config.period.duration) return;
+    if (peer_states.online[index] == 0 ||
+        simulation.now() >= config.period.duration) {
+      return;
+    }
     if (maintained_flag(index, v) != 0) return;  // already maintained
     const RemotePeer& peer = population.peers()[index];
     // A vetoed maintained open is simply lost for this session (the next
@@ -793,17 +813,17 @@ struct CampaignEngine::Impl {
     const auto retention = static_cast<SimDuration>(prng.exponential(
         static_cast<double>(std::max<SimDuration>(params.retention_mean, kSecond))));
     const SimTime retention_end = simulation.now() + retention;
-    const SimTime close_at = std::min(retention_end, state.session_end);
-    const auto reason = close_at == state.session_end ? p2p::CloseReason::kPeerOffline
-                                                      : p2p::CloseReason::kRemoteTrim;
+    const SimTime session_end = peer_states.session_end[index];
+    const SimTime close_at = std::min(retention_end, session_end);
+    const auto reason = close_at == session_end ? p2p::CloseReason::kPeerOffline
+                                                : p2p::CloseReason::kRemoteTrim;
     simulation.schedule_at(close_at, [this, v, conn_id, reason] {
       vantages[v].swarm->close_connection(conn_id, reason);
     });
   }
 
   void schedule_next_query(std::uint32_t index, std::size_t v) {
-    const PeerState& state = peer_states[index];
-    if (!state.online) return;
+    if (peer_states.online[index] == 0) return;
     const RemotePeer& peer = population.peers()[index];
     const CategoryParams& params = config.population.params(peer.category);
     common::Rng prng = peer_rng(index ^ 0x20000000u);
@@ -811,9 +831,12 @@ struct CampaignEngine::Impl {
     const auto delay =
         static_cast<SimDuration>(prng.exponential(mean_gap_s) * kSecond);
     const SimTime fire_at = simulation.now() + delay;
-    if (fire_at >= state.session_end || fire_at >= config.period.duration) return;
+    if (fire_at >= peer_states.session_end[index] ||
+        fire_at >= config.period.duration) {
+      return;
+    }
     simulation.schedule_at(fire_at, [this, index, v] {
-      if (!peer_states[index].online) return;
+      if (peer_states.online[index] == 0) return;
       open_query(index, v);
       schedule_next_query(index, v);
     });
@@ -826,7 +849,6 @@ struct CampaignEngine::Impl {
     if (maintained_flag(index, v) != 0) return;
     const RemotePeer& peer = population.peers()[index];
     if (!contact_allowed(peer, v)) return;  // this query attempt is lost
-    const PeerState& state = peer_states[index];
     const CategoryParams& params = config.population.params(peer.category);
     Vantage& vantage = vantages[v];
     common::Rng prng = peer_rng(index ^ 0x10000000u);
@@ -849,7 +871,7 @@ struct CampaignEngine::Impl {
       close_at += 2 * conditions->one_way(peer.pid, vantage.swarm->local_id(),
                                           simulation.now(), prng);
     }
-    close_at = std::min(close_at, state.session_end);
+    close_at = std::min(close_at, peer_states.session_end[index]);
     simulation.schedule_at(close_at, [this, v, conn_id] {
       vantages[v].swarm->close_connection(conn_id, p2p::CloseReason::kRemoteClose);
     });
@@ -920,7 +942,7 @@ struct CampaignEngine::Impl {
         connection.reason != p2p::CloseReason::kRemoteTrim) {
       return;
     }
-    if (!peer_states[meta.peer].online) return;
+    if (peer_states.online[meta.peer] == 0) return;
     common::Rng prng = peer_rng(meta.peer ^ 0x04000000u);
     const auto backoff = std::max<SimDuration>(
         static_cast<SimDuration>(prng.exponential(
@@ -987,7 +1009,7 @@ struct CampaignEngine::Impl {
     const auto retention = std::max<SimDuration>(
         static_cast<SimDuration>(prng.exponential(135.0) * kSecond), 5 * kSecond);
     const SimTime close_at =
-        std::min(simulation.now() + retention, peer_states[index].session_end);
+        std::min(simulation.now() + retention, peer_states.session_end[index]);
     simulation.schedule_at(close_at, [this, v, conn_id] {
       vantages[v].swarm->close_connection(conn_id, p2p::CloseReason::kRemoteTrim);
     });
@@ -1022,7 +1044,7 @@ struct CampaignEngine::Impl {
                 static_cast<SimDuration>(prng.exponential(75.0) * kSecond),
                 3 * kSecond);
             const SimTime close_at = std::min(simulation.now() + duration,
-                                              peer_states[index].session_end);
+                                              peer_states.session_end[index]);
             simulation.schedule_at(close_at, [this, v, conn_id] {
               vantages[v].swarm->close_connection(conn_id,
                                                   p2p::CloseReason::kLocalClose);
@@ -1052,8 +1074,8 @@ struct CampaignEngine::Impl {
               const auto index = static_cast<std::uint32_t>(
                   prng.uniform_u64(population.peers().size()));
               const RemotePeer& peer = population.peers()[index];
-              const PeerState& state = peer_states[index];
-              if (state.online || state.last_online > simulation.now() - 24 * kHour ||
+              if (peer_states.online[index] != 0 ||
+                  peer_states.last_online[index] > simulation.now() - 24 * kHour ||
                   peer.category == Category::kCoreServer) {
                 vantages[v].swarm->peerstore().touch(peer.pid, simulation.now());
               }
@@ -1080,8 +1102,7 @@ struct CampaignEngine::Impl {
                 peer.protocols.end();
             if (!announces_kad) continue;
             const CategoryParams& params = config.population.params(peer.category);
-            const PeerState& state = peer_states[peer.index];
-            if (state.online) {
+            if (peer_states.online[peer.index] != 0) {
               if (prng.bernoulli(params.crawl_visibility)) {
                 // Conditions narrow the crawler's *reach*, never what it
                 // has learned: outage and partitioned zones are cut off
@@ -1097,7 +1118,8 @@ struct CampaignEngine::Impl {
                 if (reachable) ++snapshot.reached_servers;
                 ++snapshot.learned_pids;
               }
-            } else if (simulation.now() - state.last_online < 24 * kHour) {
+            } else if (simulation.now() - peer_states.last_online[peer.index] <
+                       24 * kHour) {
               // Stale routing-table entries: learned but not reachable.
               if (prng.bernoulli(0.5)) ++snapshot.learned_pids;
             }
@@ -1353,7 +1375,7 @@ struct CampaignEngine::Impl {
   std::vector<sim::TaskId> content_tasks;
   measure::MeasurementSink* content_sink = nullptr;  ///< valid during run()
   std::vector<Vantage> vantages;
-  std::vector<PeerState> peer_states;
+  PeerStates peer_states;
   std::vector<std::uint8_t> maintained_flags;
   std::unordered_map<p2p::PeerId, std::uint32_t> pid_to_peer;
   std::vector<std::uint32_t> online_servers;

@@ -1,0 +1,120 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace ipfs::sim {
+
+LadderQueue::~LadderQueue() {
+  // Destroy every closure still linked in a bucket (queued records are the
+  // exact set of live Action objects; released slots were destroyed on
+  // release, and popped records never outlive the dispatch call).
+  for (std::uint32_t b = 0; b < kL0Buckets; ++b)
+    for (std::size_t i = l0_head_[b]; i < l0_items_[b].size(); ++i)
+      action(l0_items_[b][i]).~Action();
+  for (int lvl = 0; lvl < kLoLevels; ++lvl)
+    for (int b = 0; b < 64; ++b)
+      for (const LoEntry& entry : lo_items_[lvl][b]) action(entry.slot).~Action();
+  for (int lvl = 0; lvl < kLevels - kLoLevels; ++lvl)
+    for (int b = 0; b < 64; ++b)
+      for (const HiEntry& entry : hi_items_[lvl][b]) action(entry.slot).~Action();
+}
+
+void LadderQueue::grow_arena() {
+  // for_overwrite: closures are placement-constructed on acquire, so the
+  // chunk must not be value-initialized (zeroing 128 KiB per chunk costs
+  // more than the arena bookkeeping itself on bandwidth-limited hosts).
+  chunks_.push_back(std::make_unique_for_overwrite<std::byte[]>(
+      sizeof(Action) * (std::size_t{1} << kChunkShift)));
+}
+
+void LadderQueue::cascade_lowest() {
+  for (int lvl = 0; lvl < kLevels; ++lvl) {
+    if (up_bits_[lvl] == 0) continue;
+    const int b = std::countr_zero(up_bits_[lvl]);
+    const int shift = kL0Bits + kDigitBits * lvl;
+    // Re-anchor the wheel at the bucket's base time: keep the digits above
+    // this level, set this level's digit to `b`, zero everything below.
+    const std::uint64_t anchor = static_cast<std::uint64_t>(wheel_now_);
+    const std::uint64_t above =
+        (shift + kDigitBits >= 64)
+            ? 0
+            : anchor & ~((std::uint64_t{1} << (shift + kDigitBits)) - 1);
+    const std::uint64_t base =
+        above | (static_cast<std::uint64_t>(b) << shift);
+    wheel_now_ = static_cast<SimTime>(base);
+    up_bits_[lvl] &= ~(std::uint64_t{1} << b);
+    // Redistribute the whole bucket in append order, which preserves
+    // schedule order within every destination bucket (FIFO contract).
+    // Destinations are strictly lower levels, so iterating in place is safe.
+    if (lvl < kLoLevels) {
+      std::vector<LoEntry>& items = lo_items_[lvl][b];
+      if (lvl == 0) {
+        // These records execute within the next 4096 ms: warm their closure
+        // lines so the pops that follow hit cache.  Cap the sweep — beyond
+        // a couple of MB the lines would be evicted before use anyway.
+        const std::size_t cap = std::min(items.size(), std::size_t{32768});
+        for (std::size_t i = 0; i < cap; ++i)
+          __builtin_prefetch(slot_raw(items[i].slot), 0, 2);
+      }
+      for (const LoEntry& entry : items)
+        link(entry.slot, static_cast<SimTime>(base + entry.delta));
+      items.clear();
+    } else {
+      std::vector<HiEntry>& items = hi_items_[lvl - kLoLevels][b];
+      for (const HiEntry& entry : items) link(entry.slot, entry.when);
+      items.clear();
+    }
+    return;
+  }
+  assert(false && "cascade_lowest called with all levels empty");
+}
+
+SimTime LadderQueue::min_when() const noexcept {
+  assert(size_ > 0);
+  if (l0_summary_ != 0) {
+    const int word = std::countr_zero(l0_summary_);
+    const int bit = std::countr_zero(l0_bits_[word]);
+    const std::uint64_t base =
+        static_cast<std::uint64_t>(wheel_now_) & ~std::uint64_t{kL0Buckets - 1};
+    return static_cast<SimTime>(base) + word * 64 + bit;
+  }
+  for (int lvl = 0; lvl < kLevels; ++lvl) {
+    if (up_bits_[lvl] == 0) continue;
+    const int b = std::countr_zero(up_bits_[lvl]);
+    const int shift = kL0Bits + kDigitBits * lvl;
+    // The bucket spans more than one L0 window: scan its (flat) entries.
+    if (lvl < kLoLevels) {
+      std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
+      for (const LoEntry& entry : lo_items_[lvl][b])
+        best = std::min(best, entry.delta);
+      const std::uint64_t anchor = static_cast<std::uint64_t>(wheel_now_);
+      const std::uint64_t above =
+          (shift + kDigitBits >= 64)
+              ? 0
+              : anchor & ~((std::uint64_t{1} << (shift + kDigitBits)) - 1);
+      return static_cast<SimTime>(
+          (above | (static_cast<std::uint64_t>(b) << shift)) + best);
+    }
+    SimTime best = std::numeric_limits<SimTime>::max();
+    for (const HiEntry& entry : hi_items_[lvl - kLoLevels][b])
+      best = std::min(best, entry.when);
+    return best;
+  }
+  return std::numeric_limits<SimTime>::max();  // unreachable: size_ > 0
+}
+
+std::size_t LadderQueue::bucket_capacity_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const std::vector<std::uint32_t>& items : l0_items_)
+    total += items.capacity() * sizeof(std::uint32_t);
+  for (int lvl = 0; lvl < kLoLevels; ++lvl)
+    for (int b = 0; b < 64; ++b)
+      total += lo_items_[lvl][b].capacity() * sizeof(LoEntry);
+  for (int lvl = 0; lvl < kLevels - kLoLevels; ++lvl)
+    for (int b = 0; b < 64; ++b)
+      total += hi_items_[lvl][b].capacity() * sizeof(HiEntry);
+  return total;
+}
+
+}  // namespace ipfs::sim

@@ -1,0 +1,295 @@
+// Hierarchical timing-wheel ("ladder") event queue backing sim::Simulation.
+//
+// The queue stores arena-allocated event closures and pops them in exactly
+// the order the original binary-heap scheduler did: ascending `when`, FIFO
+// among equal timestamps.  See DESIGN.md §12 for the structure, the
+// determinism contract, and the arena lifetime rules.
+//
+// Shape
+//   - Level 0 is a 4096-bucket wheel of 1 ms buckets anchored at `wheel_now_`
+//     (the timestamp of the last popped record).  Within the current 4096 ms
+//     window the bucket index `when & 4095` is injective, so every record in
+//     an L0 bucket shares the same `when`: buckets store bare 4-byte slot
+//     indices (the timestamp is implied by the bucket) and append order is
+//     exactly schedule order — FIFO needs no sequence numbers, it is
+//     structural.
+//   - Levels 1..9 are 64-bucket wheels over successive 6-bit digits of the
+//     absolute timestamp (level k spans bits [12+6(k-1), 12+6k); level 9
+//     covers the top bits, so any non-negative SimTime fits — there is no
+//     overflow list).  A record lands on the level of the most significant
+//     bit of `when ^ wheel_now_`; occupied upper buckets always lie strictly
+//     in the future, and the lowest occupied bucket of the lowest occupied
+//     level contains the global minimum.  Levels 1..4 (spans < 2^32 ms)
+//     store 8-byte {delta-from-bucket-base, slot} entries; the rare far
+//     levels 5..9 store 16-byte {when, slot} entries.
+//   - When L0 drains, the lowest occupied upper bucket is re-anchored
+//     (`wheel_now_` jumps to the bucket's base time) and its records cascade
+//     down one or more levels.  Each record cascades at most once per level,
+//     so enqueue+dequeue stay amortized O(1).  A level-1 → level-0 cascade
+//     prefetches the window's closures: every pop that follows finds its
+//     record in cache.
+//
+// FIFO correctness across cascades: bucket vectors are appended in schedule
+// order and redistributed in order, and a timestamp enters the L0 window
+// only when every record bearing it has already cascaded into L0 — so
+// append order within an L0 bucket is always global schedule order.
+//
+// Closures live in a chunked arena whose chunks never move; they are
+// placement-constructed on insert (one move, no copies — and no zeroing of
+// cold chunks) and destroyed on release.  Per-slot bookkeeping lives in
+// dense side arrays, not next to the closure: `meta_` packs
+// (generation << 2 | periodic << 1 | cancelled) so the cancelled/periodic
+// checks on the pop path and the liveness check in `cancel` touch 4 bytes,
+// and `intervals_` is only ever read for periodic records.  Freed slots go
+// on a free stack and their generation is bumped; tokens embed
+// (generation, slot), which makes `cancel` on an already-completed or
+// never-issued token a true O(1) no-op.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "common/sim_time.hpp"
+
+namespace ipfs::sim {
+
+using common::SimDuration;
+using common::SimTime;
+
+class LadderQueue {
+ public:
+  using Action = std::function<void()>;
+  using Token = std::uint64_t;
+
+  static constexpr Token kNullToken = 0;
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  /// Result of `pop_min`: the record's timestamp and arena slot
+  /// (slot == kNil when the queue is empty).
+  struct PopInfo {
+    SimTime when;
+    std::uint32_t slot;
+  };
+
+  // meta_ bit layout.
+  static constexpr std::uint32_t kCancelledBit = 1u;
+  static constexpr std::uint32_t kPeriodicBit = 2u;
+  static constexpr int kGenShift = 2;
+
+  LadderQueue() = default;
+  LadderQueue(const LadderQueue&) = delete;
+  LadderQueue& operator=(const LadderQueue&) = delete;
+  ~LadderQueue();
+
+  /// Insert a record at absolute time `when` (must be >= the last popped
+  /// time).  Returns a token that stays valid until the record is released
+  /// (one-shot pop) — periodic records keep their token across requeues.
+  Token insert(SimTime when, SimDuration repeat_every, Action action) {
+    assert(when >= wheel_now_ && "Simulation clamps schedule times to now()");
+    const std::uint32_t slot = acquire_slot();
+    ::new (slot_raw(slot)) Action(std::move(action));
+    if (repeat_every > 0) {
+      meta_[slot] |= kPeriodicBit;
+      if (intervals_.size() < meta_.size()) intervals_.resize(meta_.size(), 0);
+      intervals_[slot] = repeat_every;
+    }
+    link(slot, when);
+    ++size_;
+    return token_from(meta_[slot], slot);
+  }
+
+  /// Mark the record cancelled.  Destroys the closure target immediately
+  /// unless `keep_action` (the caller is mid-invoke of this very closure —
+  /// the dispatch loop reaps it on return).  Returns false (no-op) for
+  /// stale, never-issued, or null tokens.
+  bool cancel(Token token, bool keep_action) {
+    const std::uint64_t slot_part = token & 0xFFFFFFFFu;
+    if (slot_part == 0) return false;
+    const std::uint32_t slot = static_cast<std::uint32_t>(slot_part) - 1;
+    if (slot >= next_fresh_) return false;
+    const std::uint32_t m = meta_[slot];
+    if ((m >> kGenShift) != static_cast<std::uint32_t>(token >> 32)) return false;
+    meta_[slot] = m | kCancelledBit;
+    if (!keep_action) action(slot) = nullptr;
+    return true;
+  }
+
+  /// Unlink and return the minimum (when, FIFO) record.  The record is NOT
+  /// released: the caller inspects `meta`/`action`, then either `requeue`s
+  /// (periodic) or `release`s it.  Advances the wheel anchor.
+  PopInfo pop_min() {
+    if (size_ == 0) return {0, kNil};
+    while (l0_summary_ == 0) cascade_lowest();
+    const int word = std::countr_zero(l0_summary_);
+    const int bit = std::countr_zero(l0_bits_[word]);
+    const std::uint32_t b = static_cast<std::uint32_t>(word * 64 + bit);
+    std::vector<std::uint32_t>& items = l0_items_[b];
+    const std::uint32_t slot = items[l0_head_[b]++];
+    if (l0_head_[b] == items.size()) {
+      items.clear();
+      l0_head_[b] = 0;
+      l0_bits_[word] &= ~(std::uint64_t{1} << bit);
+      if (l0_bits_[word] == 0) l0_summary_ &= ~(std::uint64_t{1} << word);
+    }
+    const SimTime when =
+        (wheel_now_ & ~static_cast<SimTime>(kL0Buckets - 1)) | b;
+    wheel_now_ = when;
+    --size_;
+    // Warm the next pop's closure while the caller dispatches this one.
+    if (l0_head_[b] < l0_items_[b].size()) {
+      __builtin_prefetch(slot_raw(l0_items_[b][l0_head_[b]]), 0, 3);
+    } else if (l0_summary_ != 0) {
+      const int w2 = std::countr_zero(l0_summary_);
+      const int b2 = w2 * 64 + std::countr_zero(l0_bits_[w2]);
+      __builtin_prefetch(slot_raw(l0_items_[b2][l0_head_[b2]]), 0, 3);
+    }
+    return {when, slot};
+  }
+
+  /// Re-insert a popped record at `when`.  The token issued at `insert`
+  /// time remains valid.
+  void requeue(std::uint32_t slot, SimTime when) {
+    link(slot, when);
+    ++size_;
+  }
+
+  /// Destroy the record's closure, bump its generation (invalidating the
+  /// token, clearing flags) and push the slot on the free stack.
+  void release(std::uint32_t slot) {
+    action(slot).~Action();
+    meta_[slot] = ((meta_[slot] >> kGenShift) + 1) << kGenShift;
+    free_list_.push_back(slot);
+  }
+
+  [[nodiscard]] std::uint32_t meta(std::uint32_t slot) const noexcept {
+    return meta_[slot];
+  }
+  [[nodiscard]] SimDuration interval(std::uint32_t slot) const noexcept {
+    return intervals_[slot];
+  }
+  [[nodiscard]] Action& action(std::uint32_t slot) noexcept {
+    return *std::launder(reinterpret_cast<Action*>(slot_raw(slot)));
+  }
+
+  [[nodiscard]] static Token token_from(std::uint32_t meta,
+                                        std::uint32_t slot) noexcept {
+    return (static_cast<Token>(meta >> kGenShift) << 32) | (slot + 1);
+  }
+
+  /// Earliest queued timestamp, including cancelled-but-unreaped records
+  /// (they still gate `run_until`, exactly as the heap's lazy deletion did).
+  /// Non-mutating — never advances the wheel.  Requires !empty().
+  [[nodiscard]] SimTime min_when() const noexcept;
+
+  /// Queued records, including cancelled ones awaiting reap (matches the old
+  /// `priority_queue::size()` observable).
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  // ---- Arena introspection (soak/leak tests) -------------------------------
+  /// Slots ever handed out by the arena (high-water mark).
+  [[nodiscard]] std::size_t arena_slots() const noexcept { return next_fresh_; }
+  /// Slots currently on the free stack.
+  [[nodiscard]] std::size_t free_slots() const noexcept { return free_list_.size(); }
+  /// Allocated arena chunks (bounded-memory assertion hook).
+  [[nodiscard]] std::size_t arena_chunks() const noexcept { return chunks_.size(); }
+  /// Bytes of bucket-entry capacity currently retained across all wheels
+  /// (steady-state memory assertion hook).
+  [[nodiscard]] std::size_t bucket_capacity_bytes() const noexcept;
+
+ private:
+  static constexpr int kChunkShift = 12;  // 4096 records per chunk
+  static constexpr std::uint32_t kChunkMask = (1u << kChunkShift) - 1;
+  static constexpr int kL0Bits = 12;  // log2(kL0Buckets)
+  static constexpr std::uint32_t kL0Buckets = 1u << kL0Bits;  // 1 ms each
+  static constexpr std::uint64_t kL0Span = kL0Buckets;
+  static constexpr int kDigitBits = 6;
+  static constexpr int kLevels = 9;    // 6-bit digits over bits 12..65
+  static constexpr int kLoLevels = 4;  // spans < 2^32 ms: compact entries
+
+  /// Levels 1..4: bucket span fits 32 bits, store the offset from the
+  /// bucket's base time (recovered at cascade from the new wheel anchor).
+  struct LoEntry {
+    std::uint32_t delta;
+    std::uint32_t slot;
+  };
+  /// Levels 5..9 (more than ~2 simulated years ahead): absolute time.
+  struct HiEntry {
+    SimTime when;
+    std::uint32_t slot;
+  };
+
+  [[nodiscard]] std::byte* slot_raw(std::uint32_t slot) noexcept {
+    return chunks_[slot >> kChunkShift].get() +
+           sizeof(Action) * (slot & kChunkMask);
+  }
+
+  std::uint32_t acquire_slot() {
+    if (!free_list_.empty()) {
+      const std::uint32_t slot = free_list_.back();
+      free_list_.pop_back();
+      return slot;
+    }
+    const std::uint32_t slot = next_fresh_++;
+    if ((slot >> kChunkShift) == chunks_.size()) grow_arena();
+    meta_.push_back(0);
+    return slot;
+  }
+
+  void link(std::uint32_t slot, SimTime when) {
+    const std::uint64_t t = static_cast<std::uint64_t>(when);
+    const std::uint64_t x = t ^ static_cast<std::uint64_t>(wheel_now_);
+    if (x < kL0Span) {
+      const std::uint32_t b = static_cast<std::uint32_t>(t & (kL0Buckets - 1));
+      l0_items_[b].push_back(slot);
+      l0_bits_[b >> 6] |= std::uint64_t{1} << (b & 63);
+      l0_summary_ |= std::uint64_t{1} << (b >> 6);
+    } else {
+      const int msb = 63 - std::countl_zero(x);
+      const int lvl = (msb - kL0Bits) / kDigitBits;
+      const int shift = kL0Bits + kDigitBits * lvl;
+      const std::uint32_t b = static_cast<std::uint32_t>((t >> shift) & 63);
+      if (lvl < kLoLevels) {
+        lo_items_[lvl][b].push_back(
+            {static_cast<std::uint32_t>(t & ((std::uint64_t{1} << shift) - 1)),
+             slot});
+      } else {
+        hi_items_[lvl - kLoLevels][b].push_back({when, slot});
+      }
+      up_bits_[lvl] |= std::uint64_t{1} << b;
+    }
+  }
+
+  void grow_arena();
+  void cascade_lowest();
+
+  SimTime wheel_now_ = 0;  ///< `when` of the last popped record
+  std::size_t size_ = 0;
+
+  // Level 0: hierarchical occupancy bitmap (summary word over 64 words of 64
+  // buckets).  Each bucket is consumed front-to-back via `l0_head_`.
+  std::uint64_t l0_summary_ = 0;
+  std::uint64_t l0_bits_[kL0Buckets / 64] = {};
+  std::vector<std::uint32_t> l0_items_[kL0Buckets];
+  std::uint32_t l0_head_[kL0Buckets] = {};
+
+  // Upper levels: one 64-bit occupancy word each (index 0 is level 1).
+  std::uint64_t up_bits_[kLevels] = {};
+  std::vector<LoEntry> lo_items_[kLoLevels][64];
+  std::vector<HiEntry> hi_items_[kLevels - kLoLevels][64];
+
+  // Arena: raw chunks of closure storage + dense per-slot bookkeeping.
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;
+  std::vector<std::uint32_t> meta_;        ///< gen<<2 | periodic<<1 | cancelled
+  std::vector<SimDuration> intervals_;     ///< valid where periodic bit set
+  std::uint32_t next_fresh_ = 0;           ///< first never-used slot
+  std::vector<std::uint32_t> free_list_;
+};
+
+}  // namespace ipfs::sim

@@ -1,12 +1,12 @@
-#include "sim/simulation.hpp"
+#include "sim/reference_scheduler.hpp"
 
 #include <algorithm>
 #include <utility>
 
 namespace ipfs::sim {
 
-void Simulation::push_event(SimTime when, Action action, TaskId id,
-                            SimDuration repeat_every) {
+void ReferenceHeapSimulation::push_event(SimTime when, Action action, TaskId id,
+                                         SimDuration repeat_every) {
   Event event;
   event.when = std::max(when, now_);
   event.sequence = next_sequence_++;
@@ -16,18 +16,19 @@ void Simulation::push_event(SimTime when, Action action, TaskId id,
   queue_.push(std::move(event));
 }
 
-TaskId Simulation::schedule_at(SimTime when, Action action) {
+TaskId ReferenceHeapSimulation::schedule_at(SimTime when, Action action) {
   const TaskId id = next_task_id_++;
   push_event(when, std::move(action), id, 0);
   return id;
 }
 
-TaskId Simulation::schedule_after(SimDuration delay, Action action) {
+TaskId ReferenceHeapSimulation::schedule_after(SimDuration delay, Action action) {
   return schedule_at(now_ + std::max<SimDuration>(delay, 0), std::move(action));
 }
 
-TaskId Simulation::schedule_every(SimDuration interval, Action action,
-                                  std::optional<SimDuration> initial_delay) {
+TaskId ReferenceHeapSimulation::schedule_every(
+    SimDuration interval, Action action,
+    std::optional<SimDuration> initial_delay) {
   const TaskId id = next_task_id_++;
   interval = std::max<SimDuration>(interval, 1);
   const SimDuration first =
@@ -36,11 +37,11 @@ TaskId Simulation::schedule_every(SimDuration interval, Action action,
   return id;
 }
 
-void Simulation::cancel(TaskId id) {
+void ReferenceHeapSimulation::cancel(TaskId id) {
   if (id != kInvalidTask) cancelled_.insert(id);
 }
 
-bool Simulation::step() {
+bool ReferenceHeapSimulation::step() {
   while (!queue_.empty()) {
     // priority_queue::top returns const&; the event is copied out so the
     // queue can be popped before the action runs (the action may schedule).
@@ -63,18 +64,16 @@ bool Simulation::step() {
   return false;
 }
 
-void Simulation::run_until(SimTime limit) {
+void ReferenceHeapSimulation::run_until(SimTime limit) {
   while (!queue_.empty() && queue_.top().when <= limit) {
     step();
   }
   now_ = std::max(now_, limit);
 }
 
-void Simulation::run() {
+void ReferenceHeapSimulation::run() {
   while (step()) {
   }
 }
-
-std::size_t Simulation::pending_events() const noexcept { return queue_.size(); }
 
 }  // namespace ipfs::sim

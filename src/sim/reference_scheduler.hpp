@@ -1,0 +1,74 @@
+// Reference scheduler: the original binary-heap implementation of
+// sim::Simulation, retained verbatim as the behavioural oracle for the
+// ladder-queue engine (tests/sim/scheduler_oracle_test.cpp runs both
+// side-by-side on randomized workloads and asserts identical pop order).
+//
+// Not used by production code — sim::Simulation is the engine.  Keep this
+// class's semantics frozen; it defines the determinism contract
+// (DESIGN.md §12) the ladder queue must reproduce bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "sim/simulation.hpp"  // TaskId / kInvalidTask
+
+namespace ipfs::sim {
+
+/// Binary-heap discrete-event simulator with lazy cancellation markers —
+/// the pre-ladder-queue `Simulation`, preserved as an oracle.
+class ReferenceHeapSimulation {
+ public:
+  using Action = std::function<void()>;
+
+  ReferenceHeapSimulation() = default;
+  ReferenceHeapSimulation(const ReferenceHeapSimulation&) = delete;
+  ReferenceHeapSimulation& operator=(const ReferenceHeapSimulation&) = delete;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  TaskId schedule_at(SimTime when, Action action);
+  TaskId schedule_after(SimDuration delay, Action action);
+  TaskId schedule_every(SimDuration interval, Action action,
+                        std::optional<SimDuration> initial_delay = std::nullopt);
+  void cancel(TaskId id);
+
+  bool step();
+  void run_until(SimTime limit);
+  void run();
+
+  [[nodiscard]] std::size_t executed_events() const noexcept { return executed_; }
+  [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when = 0;
+    std::uint64_t sequence = 0;  ///< FIFO tie-break at equal times
+    TaskId id = kInvalidTask;
+    SimDuration repeat_every = 0;  ///< 0 for one-shot events
+    Action action;
+  };
+
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  void push_event(SimTime when, Action action, TaskId id, SimDuration repeat_every);
+
+  SimTime now_ = 0;
+  std::uint64_t next_sequence_ = 1;
+  TaskId next_task_id_ = 1;
+  std::size_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::unordered_set<TaskId> cancelled_;
+};
+
+}  // namespace ipfs::sim

@@ -3,23 +3,30 @@
 // A `Simulation` owns a virtual clock and an event queue.  Events at equal
 // timestamps execute in scheduling order (FIFO), which together with the
 // seeded RNG tree makes every run bit-reproducible (DESIGN.md §5).
+//
+// The queue is a hierarchical timing wheel with arena-allocated records
+// (sim::LadderQueue): amortized O(1) enqueue/dequeue/cancel with the exact
+// pop order of the original binary heap — see DESIGN.md §12 for the
+// structure and the determinism contract.  The scheduling and dispatch paths
+// are defined inline here; they are the hottest code in the simulator.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <queue>
-#include <unordered_set>
-#include <vector>
 
 #include "common/sim_time.hpp"
+#include "sim/event_queue.hpp"
 
 namespace ipfs::sim {
 
 using common::SimDuration;
 using common::SimTime;
 
-/// Identifies a scheduled event or periodic task for cancellation.
+/// Identifies a scheduled event or periodic task for cancellation.  Encodes
+/// (arena generation, arena slot); a completed or never-issued id never
+/// aliases a live task.
 using TaskId = std::uint64_t;
 inline constexpr TaskId kInvalidTask = 0;
 
@@ -42,57 +49,108 @@ class Simulation {
   [[nodiscard]] SimTime now() const noexcept { return now_; }
 
   /// Schedule `action` at absolute time `when` (clamped to now()).
-  TaskId schedule_at(SimTime when, Action action);
+  TaskId schedule_at(SimTime when, Action action) {
+    return queue_.insert(std::max(when, now_), 0, std::move(action));
+  }
 
   /// Schedule `action` after `delay` (clamped to >= 0).
-  TaskId schedule_after(SimDuration delay, Action action);
+  TaskId schedule_after(SimDuration delay, Action action) {
+    return queue_.insert(now_ + std::max<SimDuration>(delay, 0), 0,
+                         std::move(action));
+  }
 
   /// Schedule `action` every `interval`, first firing after `initial_delay`
   /// (defaults to one full interval when not given).  Runs until cancelled.
+  ///
+  /// The action is invoked in place across firings (it is moved into the
+  /// queue once, never copied per firing), so captured state persists
+  /// between invocations.  Determinism-sensitive callers keep their state in
+  /// the RNG tree / simulation state, not in mutable captures.
   TaskId schedule_every(SimDuration interval, Action action,
-                        std::optional<SimDuration> initial_delay = std::nullopt);
+                        std::optional<SimDuration> initial_delay = std::nullopt) {
+    interval = std::max<SimDuration>(interval, 1);
+    const SimDuration first =
+        std::max<SimDuration>(initial_delay.value_or(interval), 0);
+    return queue_.insert(now_ + first, interval, std::move(action));
+  }
 
   /// Cancel a pending one-shot event or periodic task.  Cancelling an
-  /// already-executed or unknown id is a no-op.
-  void cancel(TaskId id);
+  /// already-executed or unknown id is an O(1) no-op; cancelling a live task
+  /// destroys its closure immediately (no dead closures accumulate) and the
+  /// small arena record is reaped at its scheduled time.  Returns true when
+  /// a live task was cancelled, false for the no-op cases.
+  bool cancel(TaskId id) {
+    // Keep the closure alive when a task cancels itself mid-invoke; step()
+    // reaps it on return.
+    return queue_.cancel(id, /*keep_action=*/id == executing_);
+  }
 
   /// Execute the next event, if any.  Returns false when the queue is empty.
-  bool step();
+  bool step() {
+    for (;;) {
+      const auto [when, slot] = queue_.pop_min();
+      if (slot == LadderQueue::kNil) return false;
+      const std::uint32_t meta = queue_.meta(slot);
+      if (meta & LadderQueue::kCancelledBit) {
+        // Lazy reap: cancelled records stay queued (their closure already
+        // destroyed) until their scheduled time, then the slot is recycled.
+        queue_.release(slot);
+        continue;
+      }
+      now_ = when;
+      ++executed_;
+      // The closure is invoked in place — never copied or moved per firing.
+      // It lives in the arena, whose chunks never move, so the reference
+      // survives any scheduling the closure performs; the `executing_` guard
+      // keeps self-cancellation from destroying it mid-invoke.
+      executing_ = LadderQueue::token_from(meta, slot);
+      if (meta & LadderQueue::kPeriodicBit) {
+        // Requeue BEFORE invoking, so events the action schedules land
+        // behind the next firing at equal times — same order as the heap.
+        queue_.requeue(slot, now_ + queue_.interval(slot));
+        queue_.action(slot)();
+        executing_ = kInvalidTask;
+        // Self-cancel: reap the closure now that the invoke returned.
+        if (queue_.meta(slot) & LadderQueue::kCancelledBit)
+          queue_.action(slot) = nullptr;
+      } else {
+        queue_.action(slot)();
+        executing_ = kInvalidTask;
+        queue_.release(slot);
+      }
+      return true;
+    }
+  }
 
   /// Run events until the queue is empty or `limit` is reached; the clock is
   /// left at `limit` (or the last event time when the queue drains first).
-  void run_until(SimTime limit);
+  void run_until(SimTime limit) {
+    // min_when() includes cancelled-but-unreaped records, exactly as the old
+    // heap consulted its (lazily deleted) top() — observable semantics match.
+    while (!queue_.empty() && queue_.min_when() <= limit) {
+      step();
+    }
+    now_ = std::max(now_, limit);
+  }
 
   /// Run until the queue drains completely.
-  void run();
+  void run() {
+    while (step()) {
+    }
+  }
 
   [[nodiscard]] std::size_t executed_events() const noexcept { return executed_; }
-  [[nodiscard]] std::size_t pending_events() const noexcept;
+  /// Queued events, including cancelled ones not yet reaped.
+  [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
+
+  /// The underlying queue (arena statistics for soak/leak tests).
+  [[nodiscard]] const LadderQueue& queue() const noexcept { return queue_; }
 
  private:
-  struct Event {
-    SimTime when = 0;
-    std::uint64_t sequence = 0;  ///< FIFO tie-break at equal times
-    TaskId id = kInvalidTask;
-    SimDuration repeat_every = 0;  ///< 0 for one-shot events
-    Action action;
-  };
-
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.when != b.when) return a.when > b.when;
-      return a.sequence > b.sequence;
-    }
-  };
-
-  void push_event(SimTime when, Action action, TaskId id, SimDuration repeat_every);
-
   SimTime now_ = 0;
-  std::uint64_t next_sequence_ = 1;
-  TaskId next_task_id_ = 1;
   std::size_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
-  std::unordered_set<TaskId> cancelled_;
+  TaskId executing_ = kInvalidTask;  ///< guards cancel-during-own-execution
+  LadderQueue queue_;
 };
 
 }  // namespace ipfs::sim

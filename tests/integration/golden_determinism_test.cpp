@@ -158,5 +158,45 @@ TEST(GoldenDeterminism, ContentSweepByteIdenticalAcrossWorkerCounts) {
   testing::expect_sweep_worker_invariant(spec);
 }
 
+/// content-baseline with churn-baseline's churn section grafted on: every
+/// subsystem that schedules events — lifecycle sessions, publish/republish
+/// cycles, fetch traffic, vantage probes — is live at once, the densest
+/// tie-breaking load the scheduler sees in tests.
+ScenarioSpec combined_churn_content_spec() {
+  ScenarioSpec spec = *ScenarioSpec::builtin("content-baseline");
+  spec.churn = ScenarioSpec::builtin("churn-baseline")->churn;
+  spec.population.scale = kScale;
+  return spec;
+}
+
+TEST(GoldenDeterminism, CombinedChurnContentExportMatchesPinnedHash) {
+  // FNV-1a (common::hash64) of the combined churn+content export at scale
+  // 0.002, default seed — recorded on the binary-heap scheduler immediately
+  // before the ladder-queue engine replaced it (DESIGN.md §12).  The pin
+  // holding across that swap is the event-ordering contract in one number:
+  // any deviation in pop order under combined load moves these bytes.
+  const std::string exported =
+      testing::run_to_json(combined_churn_content_spec().to_campaign_config());
+  ASSERT_FALSE(exported.empty());
+  EXPECT_EQ(common::hash64(exported), 0x2a17c5a9a02a54a6ULL)
+      << "combined churn+content export drifted from its pre-ladder-queue pin";
+}
+
+TEST(GoldenDeterminism, CombinedChurnContentSweepPinnedAndWorkerInvariant) {
+  // Three-trial sweep of the combined scenario: byte-identical at 1, 2 and
+  // 4 workers, and the worker-1 bytes themselves are pinned (recorded on
+  // the pre-ladder-queue scheduler, like the single-run pin above).
+  ScenarioSpec spec = combined_churn_content_spec();
+  spec.campaign.trials = 3;
+  const std::string baseline = testing::run_sweep_bytes(spec, 1);
+  ASSERT_FALSE(baseline.empty());
+  EXPECT_EQ(common::hash64(baseline), 0x67d1f01113ac2afbULL)
+      << "combined churn+content sweep drifted from its pre-ladder-queue pin";
+  for (const std::uint32_t workers : {2u, 4u}) {
+    EXPECT_EQ(testing::run_sweep_bytes(spec, workers), baseline)
+        << "workers=" << workers;
+  }
+}
+
 }  // namespace
 }  // namespace ipfs::scenario

@@ -1,0 +1,109 @@
+// Scheduler soak test (`ctest -L slow`).
+//
+// Runs a ten-million-event mixed workload — recurring timers, hold-style
+// one-shot chains, and a steady stream of cancellations — through the
+// ladder-queue engine and asserts the arena stays bounded: slot high-water
+// tracks the live event set (not total throughput), chunk count stops
+// growing after warm-up, and after a full drain every slot is back on the
+// free list (no dead-event leaks, cancelled or otherwise).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace ipfs::sim {
+namespace {
+
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+TEST(SchedulerSoak, TenMillionEventsBoundedArenaNoLeaks) {
+  constexpr std::size_t kTargetEvents = 10'000'000;
+  constexpr std::size_t kPeriodicTimers = 20'000;
+  constexpr std::size_t kHoldChains = 30'000;
+
+  Simulation sim;
+  std::uint64_t rng_state = 0x50a4;
+  auto next = [&rng_state] { return mix(rng_state++); };
+
+  // Recurring timers: live forever (cancelled at the end), recycle their
+  // arena slot in place on every firing.
+  std::vector<TaskId> periodics;
+  periodics.reserve(kPeriodicTimers);
+  std::uint64_t periodic_firings = 0;
+  for (std::size_t i = 0; i < kPeriodicTimers; ++i) {
+    periodics.push_back(sim.schedule_every(
+        static_cast<common::SimDuration>(next() % 1000 + 1),
+        [&periodic_firings] { ++periodic_firings; },
+        static_cast<common::SimDuration>(next() % 1000)));
+  }
+
+  // Hold-style chains: every firing schedules a successor, so one-shot slots
+  // churn through the free list at full throughput.  A ring of recent ids
+  // feeds the cancellation stream; cancelled chains are reseeded so the
+  // live-set size stays constant.
+  std::vector<TaskId> recent(4096, kInvalidTask);
+  std::uint64_t hold_firings = 0;
+  std::uint64_t cancels = 0;
+  std::function<void()> hop = [&] {
+    ++hold_firings;
+    const TaskId id = sim.schedule_after(
+        static_cast<common::SimDuration>(next() % 5000 + 1), hop);
+    recent[hold_firings % recent.size()] = id;
+    if (hold_firings % 16 == 0) {
+      // Cancel a recently scheduled chain link (sometimes already executed —
+      // those cancels must be no-ops); reseed only when a live chain died,
+      // so the live set stays exactly steady and the arena bound is tight.
+      const TaskId victim = recent[next() % recent.size()];
+      if (victim != kInvalidTask && sim.cancel(victim)) {
+        ++cancels;
+        sim.schedule_after(static_cast<common::SimDuration>(next() % 5000 + 1),
+                           hop);
+      }
+    }
+  };
+  for (std::size_t i = 0; i < kHoldChains; ++i) {
+    sim.schedule_after(static_cast<common::SimDuration>(next() % 5000 + 1), hop);
+  }
+
+  // Warm up to steady state, then record the arena footprint.
+  while (sim.executed_events() < kTargetEvents / 10) sim.step();
+  const std::size_t chunks_after_warmup = sim.queue().arena_chunks();
+
+  while (sim.executed_events() < kTargetEvents) sim.step();
+
+  // Bounded memory: 9M further events must not have grown the arena.  The
+  // live set is fixed, so any growth would be a leak of dead records.
+  EXPECT_EQ(sim.queue().arena_chunks(), chunks_after_warmup);
+  // Bucket vectors keep their high-water capacity (clear() on cascade), so
+  // they ratchet with the largest transient burst — but stay bounded by the
+  // live-set geometry, never by throughput.  An O(events) leak here would
+  // need hundreds of MB; tens are geometry.
+  EXPECT_LE(sim.queue().bucket_capacity_bytes(), std::size_t{64} << 20);
+  // Sanity on the workload mix: every component actually ran.  Short
+  // periodic intervals dominate the rate (harmonic mean), so the chain share
+  // is small but still hundreds of thousands of slot-churning events.
+  EXPECT_GT(periodic_firings, kTargetEvents / 2);
+  EXPECT_GT(hold_firings, kTargetEvents / 20);
+  EXPECT_GT(cancels, kTargetEvents / 1000);
+
+  // Teardown: stop the chains and timers, drain to empty.
+  hop = [] {};  // executing chain links fire once more, scheduling nothing
+  for (const TaskId id : periodics) sim.cancel(id);
+  sim.run();
+
+  EXPECT_EQ(sim.pending_events(), 0u);
+  // Every arena slot ever allocated is back on the free list: no dead
+  // events, no lost cancellation records, after ~10M mixed events.
+  EXPECT_EQ(sim.queue().free_slots(), sim.queue().arena_slots());
+}
+
+}  // namespace
+}  // namespace ipfs::sim

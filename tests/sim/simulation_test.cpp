@@ -2,10 +2,83 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
+
+#include "sim/reference_scheduler.hpp"
 
 namespace ipfs::sim {
 namespace {
+
+/// Counts every special-member call so tests can pin down how the engine
+/// handles callbacks: the ladder queue must move a closure exactly into its
+/// arena slot and invoke it in place — never copy it (the original heap
+/// engine copied on every pop, and once per firing for periodic tasks).
+struct CountingCallable {
+  struct Counters {
+    int copies = 0;
+    int moves = 0;
+    int invokes = 0;
+  };
+  Counters* counters;
+
+  explicit CountingCallable(Counters* c) : counters(c) {}
+  CountingCallable(const CountingCallable& other) : counters(other.counters) {
+    ++counters->copies;
+  }
+  CountingCallable(CountingCallable&& other) noexcept : counters(other.counters) {
+    ++counters->moves;
+  }
+  CountingCallable& operator=(const CountingCallable& other) {
+    counters = other.counters;
+    ++counters->copies;
+    return *this;
+  }
+  CountingCallable& operator=(CountingCallable&& other) noexcept {
+    counters = other.counters;
+    ++counters->moves;
+    return *this;
+  }
+  void operator()() const { ++counters->invokes; }
+};
+
+TEST(Simulation, OneShotCallbackIsMovedNeverCopied) {
+  Simulation sim;
+  CountingCallable::Counters counters;
+  sim.schedule_at(10, CountingCallable(&counters));
+  sim.run();
+  EXPECT_EQ(counters.invokes, 1);
+  EXPECT_EQ(counters.copies, 0);
+  EXPECT_GT(counters.moves, 0);  // into the wrapper, then into the arena
+}
+
+TEST(Simulation, PeriodicCallbackNeverCopiedAcrossFirings) {
+  Simulation sim;
+  CountingCallable::Counters counters;
+  const TaskId id = sim.schedule_every(10, CountingCallable(&counters));
+  sim.run_until(100);
+  sim.cancel(id);
+  sim.run();
+  EXPECT_EQ(counters.invokes, 10);
+  EXPECT_EQ(counters.copies, 0);
+  // The move count is fixed at hand-off: requeueing relinks the arena slot,
+  // it does not touch the closure.
+  const int moves_after_first_firing = counters.moves;
+  EXPECT_GT(moves_after_first_firing, 0);
+}
+
+// Sensitivity check: the same probe on the retained heap engine reports the
+// copies the overhaul removed (copy-out on pop; one more per periodic
+// firing).  If this starts failing with zero copies, the oracle no longer
+// models the original cost and the probe above has lost its witness.
+TEST(Simulation, ProbeDetectsCopiesInHeapOracle) {
+  ReferenceHeapSimulation heap;
+  CountingCallable::Counters counters;
+  heap.schedule_at(10, CountingCallable(&counters));
+  heap.run();
+  EXPECT_EQ(counters.invokes, 1);
+  EXPECT_GT(counters.copies, 0);
+}
 
 TEST(Simulation, StartsAtZero) {
   Simulation sim;

@@ -16,6 +16,8 @@
 //   --trials N     override the spec's trial count
 //   --seed S       override the spec's base seed
 //   --scale X      override the population scale (CI smoke runs use this)
+//   --duration S   override the measured period, in simulated seconds
+//                  (CI smoke runs pair a huge --scale with a short window)
 //   --quiet        suppress the progress summary on stderr
 //
 // Single-trial runs execute on a `scenario::CampaignEngine` directly;
@@ -54,7 +56,8 @@ int usage(std::ostream& out, int code) {
          "                           (default ./scenarios when present)\n"
          "  validate FILE...         parse + validate scenario files\n"
          "  run SCENARIO [options]   run a scenario file or builtin name\n"
-         "      --out FILE --workers N --trials N --seed S --scale X --quiet\n"
+         "      --out FILE --workers N --trials N --seed S --scale X\n"
+         "      --duration SECONDS --quiet\n"
          "  export NAME|--all [--dir DIR | --out FILE]\n"
          "                           write builtin spec(s) as JSON\n"
          "  selftest                 run a tiny testbed experiment\n";
@@ -228,6 +231,7 @@ int cmd_run(const std::vector<std::string>& args) {
   std::optional<std::uint32_t> trials_override;
   std::optional<std::uint64_t> seed_override;
   std::optional<double> scale_override;
+  std::optional<double> duration_override;  // simulated seconds
   bool quiet = false;
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -264,6 +268,13 @@ int cmd_run(const std::vector<std::string>& args) {
         return 2;
       }
       scale_override = scale;
+    } else if (arg == "--duration" && has_value) {
+      double seconds = 0.0;
+      if (!parse_double(args[++i], seconds) || seconds <= 0.0) {
+        std::cerr << "ipfs_sim run: --duration expects seconds > 0\n";
+        return 2;
+      }
+      duration_override = seconds;
     } else {
       std::cerr << "ipfs_sim run: unknown option '" << arg << "'\n";
       return 2;
@@ -281,6 +292,9 @@ int cmd_run(const std::vector<std::string>& args) {
   if (trials_override) spec.campaign.trials = *trials_override;
   if (seed_override) spec.campaign.seed = *seed_override;
   if (scale_override) spec.population.scale = *scale_override;
+  if (duration_override) {
+    spec.period.duration = ipfs::common::from_seconds(*duration_override);
+  }
   if (auto invalid = ScenarioSpec::validate(spec)) {
     std::cerr << "ipfs_sim run: " << *invalid << "\n";
     return 1;
