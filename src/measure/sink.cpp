@@ -209,6 +209,11 @@ void JsonExportSink::splice(std::unique_ptr<Spool>& slot) {
     while ((count = std::fread(buffer, 1, sizeof buffer, slot->file)) > 0) {
       out_.write(buffer, static_cast<std::streamsize>(count));
     }
+    if (std::ferror(slot->file) != 0) {
+      // fread stops on error as well as EOF; without this the export would
+      // be silently truncated mid-document.
+      out_.setstate(std::ios_base::failbit);
+    }
   } else {
     out_ << slot->memory.str();
   }

@@ -159,6 +159,16 @@ class LadderQueue {
     ++size_;
   }
 
+  /// Re-anchor the wheel at `t`.  Only legal on an empty queue, where the
+  /// anchor carries no ordering state.  `pop_min` advances the anchor for
+  /// cancelled records too (the clock does not), so after a drain the anchor
+  /// can sit past the time future inserts are clamped to; the dispatch loop
+  /// resets it to the clock before reporting the queue empty.
+  void reset_anchor(SimTime t) noexcept {
+    assert(size_ == 0 && "anchor reset requires a drained queue");
+    wheel_now_ = t;
+  }
+
   /// Destroy the record's closure, bump its generation (invalidating the
   /// token, clearing flags) and push the slot on the free stack.
   void release(std::uint32_t slot) {

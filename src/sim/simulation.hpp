@@ -89,7 +89,13 @@ class Simulation {
   bool step() {
     for (;;) {
       const auto [when, slot] = queue_.pop_min();
-      if (slot == LadderQueue::kNil) return false;
+      if (slot == LadderQueue::kNil) {
+        // Reaping cancelled records advances the wheel anchor without
+        // advancing the clock; re-anchor at the clock so a later schedule
+        // at a time before the reaped records is legal again.
+        queue_.reset_anchor(now_);
+        return false;
+      }
       const std::uint32_t meta = queue_.meta(slot);
       if (meta & LadderQueue::kCancelledBit) {
         // Lazy reap: cancelled records stay queued (their closure already
@@ -104,19 +110,33 @@ class Simulation {
       // survives any scheduling the closure performs; the `executing_` guard
       // keeps self-cancellation from destroying it mid-invoke.
       executing_ = LadderQueue::token_from(meta, slot);
+      // Reap on all exits: a throwing action must still clear `executing_`
+      // and (for one-shots) release the slot — the old heap destroyed its
+      // copied-out Event during unwind, so leaking here would be new.
+      struct Reaper {
+        Simulation& sim;
+        std::uint32_t slot;
+        bool periodic;
+        ~Reaper() {
+          sim.executing_ = kInvalidTask;
+          if (periodic) {
+            // Self-cancel: reap the closure now that the invoke returned.
+            if (sim.queue_.meta(slot) & LadderQueue::kCancelledBit)
+              sim.queue_.action(slot) = nullptr;
+          } else {
+            sim.queue_.release(slot);
+          }
+        }
+      };
       if (meta & LadderQueue::kPeriodicBit) {
         // Requeue BEFORE invoking, so events the action schedules land
         // behind the next firing at equal times — same order as the heap.
         queue_.requeue(slot, now_ + queue_.interval(slot));
+        Reaper reaper{*this, slot, /*periodic=*/true};
         queue_.action(slot)();
-        executing_ = kInvalidTask;
-        // Self-cancel: reap the closure now that the invoke returned.
-        if (queue_.meta(slot) & LadderQueue::kCancelledBit)
-          queue_.action(slot) = nullptr;
       } else {
+        Reaper reaper{*this, slot, /*periodic=*/false};
         queue_.action(slot)();
-        executing_ = kInvalidTask;
-        queue_.release(slot);
       }
       return true;
     }

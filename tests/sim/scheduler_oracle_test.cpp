@@ -242,6 +242,43 @@ TEST(SchedulerOracle, EqualTimeBursts) {
   EXPECT_EQ(ladder.sim.executed_events(), heap.sim.executed_events());
 }
 
+// Regression: reaping trailing cancelled records advances the ladder's
+// wheel anchor without advancing the clock.  After the drain, scheduling at
+// a time before the reaped records used to violate the anchor invariant
+// (debug-assert on insert; out-of-order pops in release) — the heap accepts
+// the same sequence, so the engines must agree.
+TEST(SchedulerOracle, CancelDrainRescheduleEarlier) {
+  Trace<Simulation> ladder;
+  Trace<ReferenceHeapSimulation> heap;
+  auto drive = [](auto& trace) {
+    trace.schedule_one_shot(5, /*relative=*/false, /*spawn=*/false);
+    trace.schedule_one_shot(9'999'000, /*relative=*/false, /*spawn=*/false);
+    trace.sim.cancel(trace.issued[1]);
+    trace.sim.run();  // drains via the cancelled far-future reap
+    // now() is 5; the reaped record sat at 9'999'000.  Schedule earlier,
+    // plus an event at the reaped time itself: against a stale anchor the
+    // latter sits in the level-0 window and pops before the earlier one.
+    trace.schedule_one_shot(trace.sim.now() + 2, /*relative=*/false,
+                            /*spawn=*/false);
+    trace.schedule_one_shot(9'999'000, /*relative=*/false, /*spawn=*/false);
+    trace.sim.run();
+    // Same shape through run_until: drain past the cancelled record only.
+    trace.schedule_one_shot(7'777'000, /*relative=*/false, /*spawn=*/false);
+    trace.sim.cancel(trace.issued.back());
+    trace.sim.run_until(8'000'000);
+    trace.schedule_one_shot(trace.sim.now() - 1'000'000, /*relative=*/false,
+                            /*spawn=*/false);  // clamps to now()
+    trace.schedule_one_shot(trace.sim.now() + 3, /*relative=*/false,
+                            /*spawn=*/false);
+    trace.sim.run();
+  };
+  drive(ladder);
+  drive(heap);
+  ASSERT_EQ(ladder.firings, heap.firings);
+  EXPECT_EQ(ladder.sim.now(), heap.sim.now());
+  EXPECT_EQ(ladder.sim.executed_events(), heap.sim.executed_events());
+}
+
 // Sparse far-future timestamps force multi-level cascades in the ladder
 // queue; the heap is insensitive to clustering, so agreement pins the
 // cascade's order preservation.

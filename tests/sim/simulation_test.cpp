@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -234,6 +236,66 @@ TEST(Simulation, ExecutedEventsCounts) {
   for (int i = 0; i < 25; ++i) sim.schedule_at(i, [] {});
   sim.run();
   EXPECT_EQ(sim.executed_events(), 25u);
+}
+
+// Regression: cancelled records advance the wheel anchor when reaped but
+// never advance now(), so a drain ending in cancelled reaps left the anchor
+// in the future and a subsequent earlier schedule violated the queue's
+// anchor invariant (out-of-order pops; debug-assert on insert).
+TEST(Simulation, RescheduleEarlierAfterCancelledTailDrains) {
+  Simulation sim;
+  std::vector<SimTime> fired;
+  sim.schedule_at(5, [&] { fired.push_back(sim.now()); });
+  const TaskId far = sim.schedule_at(9'999'000, [&] { fired.push_back(sim.now()); });
+  sim.cancel(far);
+  sim.run();  // reaps the cancelled tail; anchor must fall back to now()
+  EXPECT_EQ(sim.now(), 5);
+  // An event at the reaped record's exact time would land in the level-0
+  // window of a stale anchor and pop before the earlier event.
+  sim.schedule_at(9'999'000, [&] { fired.push_back(sim.now()); });
+  sim.schedule_at(7, [&] { fired.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<SimTime>{5, 7, 9'999'000}));
+  EXPECT_EQ(sim.now(), 9'999'000);
+}
+
+TEST(Simulation, ThrowingOneShotActionReleasesItsSlot) {
+  Simulation sim;
+  auto payload = std::make_shared<int>(42);
+  std::weak_ptr<int> alive = payload;
+  sim.schedule_at(10, [payload = std::move(payload)] {
+    (void)payload;
+    throw std::runtime_error("boom");
+  });
+  EXPECT_THROW(sim.step(), std::runtime_error);
+  // The closure is destroyed and the slot recycled during unwind, exactly
+  // as the heap engine destroyed its copied-out Event.
+  EXPECT_TRUE(alive.expired());
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.queue().free_slots(), sim.queue().arena_slots());
+  // The engine stays usable after the unwind.
+  bool fired = false;
+  sim.schedule_at(20, [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now(), 20);
+}
+
+TEST(Simulation, ThrowingPeriodicActionStaysCancellable) {
+  Simulation sim;
+  int fired = 0;
+  const TaskId id = sim.schedule_every(10, [&] {
+    if (++fired == 2) throw std::runtime_error("boom");
+  });
+  EXPECT_TRUE(sim.step());
+  EXPECT_THROW(sim.step(), std::runtime_error);
+  // The record was requeued before the invoke, so after the unwind the task
+  // is still live and cancellable, and the queue drains cleanly.
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.queue().free_slots(), sim.queue().arena_slots());
 }
 
 TEST(Simulation, DeterministicAcrossRuns) {
