@@ -1,0 +1,13 @@
+#include "measure/shard_tally.hpp"
+
+namespace ipfs::measure {
+
+PopulationTally fold(std::span<const PopulationTally> partials) noexcept {
+  return fold_shards(partials);
+}
+
+ContentTally fold(std::span<const ContentTally> partials) noexcept {
+  return fold_shards(partials);
+}
+
+}  // namespace ipfs::measure

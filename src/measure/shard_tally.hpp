@@ -1,0 +1,52 @@
+// Mergeable per-shard partial tallies (DESIGN.md §13).
+//
+// A sharded campaign's whole-population sweeps — the ground-truth online
+// count behind each `PopulationSample`, the true-record count behind each
+// `ContentSample` — are computed as one partial tally per population
+// shard and folded in canonical ascending shard order into the exact
+// value the sequential sweep produces.  The partials exist so shard
+// bodies never touch a shared accumulator: each writes only its own slot,
+// and the fold happens after the fork-join barrier on the engine thread.
+//
+// The folds here are integer sums, so they are order-independent as
+// well as order-canonical — byte-identity of the samples fed into the
+// existing `MeasurementSink`s holds at any shard count by construction.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace ipfs::measure {
+
+/// Partial ground-truth population tally of one shard's peer slice.
+struct PopulationTally {
+  std::size_t online = 0;  ///< peers of the slice truly inside a session
+
+  void merge(const PopulationTally& other) noexcept { online += other.online; }
+};
+
+/// Partial ground-truth content tally of one shard's peer slice.
+struct ContentTally {
+  std::size_t true_records = 0;  ///< provider slots of truly-online peers
+
+  void merge(const ContentTally& other) noexcept {
+    true_records += other.true_records;
+  }
+};
+
+/// Fold shard partials in canonical ascending shard order.  `partials`
+/// must be indexed by shard.
+template <typename Tally>
+[[nodiscard]] Tally fold_shards(std::span<const Tally> partials) noexcept {
+  Tally total;
+  for (const Tally& partial : partials) total.merge(partial);
+  return total;
+}
+
+// Explicit concrete entry points (shard_tally.cpp) so the fold policy has
+// a home that unit tests and the campaign engine share without template
+// re-instantiation at every call site.
+[[nodiscard]] PopulationTally fold(std::span<const PopulationTally> partials) noexcept;
+[[nodiscard]] ContentTally fold(std::span<const ContentTally> partials) noexcept;
+
+}  // namespace ipfs::measure

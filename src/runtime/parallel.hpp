@@ -74,7 +74,12 @@ class ParallelTrialRunner {
   [[nodiscard]] std::expected<std::vector<TrialResult>, std::string> run(
       std::vector<TrialSpec> trials);
 
-  /// The worker count `run` would use for `trial_count` trials.
+  /// The worker count `run` requests for `trial_count` trials.  Auto
+  /// counts (options.workers == 0) are additionally leased from the
+  /// process-wide `runtime::WorkerBudget` at run time, so nested sharded
+  /// engines (scenario::ShardPlan) and concurrent sweeps never commit
+  /// more than hardware concurrency between them; explicit counts are
+  /// honoured as given (DESIGN.md §13).
   [[nodiscard]] unsigned resolve_workers(std::size_t trial_count) const noexcept;
 
  private:

@@ -1,0 +1,101 @@
+#include "runtime/shard_pool.hpp"
+
+#include <algorithm>
+
+namespace ipfs::runtime {
+
+ShardPool::ShardPool(unsigned shards, unsigned workers)
+    : shards_(std::max(shards, 1u)),
+      workers_(std::clamp(workers, 1u, std::max(shards, 1u))) {
+  if (workers_ > 1) {
+    helpers_.reserve(workers_ - 1);
+    for (unsigned w = 0; w + 1 < workers_; ++w) {
+      helpers_.emplace_back([this] { helper_loop(); });
+    }
+  }
+}
+
+ShardPool::~ShardPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& helper : helpers_) helper.join();
+}
+
+std::pair<std::size_t, std::size_t> ShardPool::slice(std::size_t count,
+                                                     unsigned shards,
+                                                     unsigned shard) noexcept {
+  shards = std::max(shards, 1u);
+  shard = std::min(shard, shards - 1);
+  // Balanced split: slice sizes differ by at most one and concatenate, in
+  // shard order, to exactly [0, count).
+  return {count * shard / shards, count * (shard + 1) / shards};
+}
+
+void ShardPool::run(const std::function<void(unsigned)>& body) {
+  if (workers_ <= 1) {
+    // No helpers: the inline loop in ascending shard order IS the
+    // canonical merge order, so this path is trivially byte-identical.
+    for (unsigned shard = 0; shard < shards_; ++shard) body(shard);
+    return;
+  }
+
+  mutex_.lock();
+  body_ = &body;
+  ++generation_;
+  next_shard_ = 0;
+  remaining_ = shards_;
+  errors_.assign(shards_, nullptr);
+  work_ready_.notify_all();
+  drain(body);
+  std::exception_ptr first;
+  {
+    std::unique_lock<std::mutex> lock(mutex_, std::adopt_lock);
+    job_done_.wait(lock, [this] { return remaining_ == 0; });
+    body_ = nullptr;
+    for (std::exception_ptr& error : errors_) {
+      if (error && !first) first = std::exchange(error, nullptr);
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+void ShardPool::drain(const std::function<void(unsigned)>& body) {
+  // mutex_ is held (raw) on entry and exit; it is dropped around each
+  // body invocation.  Claiming under the mutex keeps the pool's own state
+  // trivially race-free — fan-outs are coarse (one claim per population
+  // slice), so the lock is cold.
+  while (next_shard_ < shards_) {
+    const unsigned shard = next_shard_++;
+    mutex_.unlock();
+    std::exception_ptr error;
+    try {
+      body(shard);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    mutex_.lock();
+    if (error) errors_[shard] = error;
+    if (--remaining_ == 0) job_done_.notify_all();
+  }
+}
+
+void ShardPool::helper_loop() {
+  mutex_.lock();
+  for (std::uint64_t seen = 0;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_, std::adopt_lock);
+      work_ready_.wait(lock, [&] {
+        return stopping_ || (body_ != nullptr && generation_ != seen);
+      });
+      if (stopping_) return;  // unlocks via the wrapper
+      seen = generation_;
+      lock.release();  // back to raw ownership for drain()
+    }
+    drain(*body_);
+  }
+}
+
+}  // namespace ipfs::runtime

@@ -1,0 +1,62 @@
+#include "runtime/worker_budget.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+namespace ipfs::runtime {
+
+WorkerLease::WorkerLease(WorkerLease&& other) noexcept
+    : budget_(std::exchange(other.budget_, nullptr)),
+      granted_(std::exchange(other.granted_, 1)) {}
+
+WorkerLease& WorkerLease::operator=(WorkerLease&& other) noexcept {
+  if (this != &other) {
+    release();
+    budget_ = std::exchange(other.budget_, nullptr);
+    granted_ = std::exchange(other.granted_, 1);
+  }
+  return *this;
+}
+
+WorkerLease::~WorkerLease() { release(); }
+
+void WorkerLease::release() noexcept {
+  if (budget_ != nullptr && granted_ > 1) {
+    budget_->release_extra(granted_ - 1);
+  }
+  budget_ = nullptr;
+  granted_ = 1;
+}
+
+unsigned WorkerBudget::hardware() noexcept {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+WorkerBudget& WorkerBudget::process() noexcept {
+  static WorkerBudget budget(hardware());
+  return budget;
+}
+
+WorkerLease WorkerBudget::lease(unsigned requested) noexcept {
+  const unsigned wanted = requested <= 1 ? 0 : requested - 1;
+  unsigned committed = committed_.load(std::memory_order_relaxed);
+  for (;;) {
+    const unsigned available = committed >= total_ ? 0 : total_ - committed;
+    const unsigned extra = std::min(wanted, available);
+    if (extra == 0) return WorkerLease(this, 1);
+    if (committed_.compare_exchange_weak(committed, committed + extra,
+                                         std::memory_order_relaxed)) {
+      return WorkerLease(this, 1 + extra);
+    }
+  }
+}
+
+unsigned WorkerBudget::split(unsigned total, unsigned ways) noexcept {
+  total = std::max(total, 1u);
+  ways = std::max(ways, 1u);
+  return std::max(total / ways, 1u);
+}
+
+}  // namespace ipfs::runtime

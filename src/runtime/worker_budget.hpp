@@ -1,0 +1,107 @@
+// Process-wide worker-thread budget (DESIGN.md §13).
+//
+// Two layers of the runtime spawn worker threads: `ParallelTrialRunner`
+// fans independent trials across cores, and a sharded `CampaignEngine`
+// fans its population slices across a `ShardPool` *inside* each trial.
+// Nested naively, trials × shards oversubscribes the machine.  The budget
+// is the shared accounting both layers draw from: a process-global count
+// of committed workers, capped at hardware concurrency, claimed through
+// RAII leases.
+//
+// Accounting model: `committed()` counts runnable threads and starts at 1
+// (the thread that owns the budget — it keeps running, or blocks waiting
+// on the workers it spawned, in which case one spawned worker inherits
+// its slot).  `lease(n)` grants the caller's own thread plus up to `n-1`
+// extra workers from the uncommitted remainder, so the grant is always at
+// least 1 and the committed total never exceeds `total()`.  Releasing a
+// lease returns its extra workers.
+//
+// Worker counts therefore depend on claim timing under nesting — which is
+// exactly why every consumer is required to be worker-count invariant
+// (trial sweeps and sharded campaigns are byte-identical at any worker
+// count; tests/integration/ enforces it).
+//
+// This header is a leaf (thread/atomic only): scenario/campaign.cpp uses
+// it from below the runtime layer without creating an include cycle.
+#pragma once
+
+#include <atomic>
+
+namespace ipfs::runtime {
+
+class WorkerBudget;
+
+/// RAII claim on worker threads.  Default-constructed leases are inert
+/// grants of 1 (the calling thread itself).  Movable, not copyable.
+class WorkerLease {
+ public:
+  WorkerLease() = default;
+  WorkerLease(WorkerLease&& other) noexcept;
+  WorkerLease& operator=(WorkerLease&& other) noexcept;
+  WorkerLease(const WorkerLease&) = delete;
+  WorkerLease& operator=(const WorkerLease&) = delete;
+  ~WorkerLease();
+
+  /// Workers this lease may run concurrently (calling thread included).
+  [[nodiscard]] unsigned granted() const noexcept { return granted_; }
+
+  /// Return the lease's extra workers to the budget now (idempotent).
+  void release() noexcept;
+
+ private:
+  friend class WorkerBudget;
+  WorkerLease(WorkerBudget* budget, unsigned granted) noexcept
+      : budget_(budget), granted_(granted) {}
+
+  WorkerBudget* budget_ = nullptr;  ///< null for inert leases
+  unsigned granted_ = 1;
+};
+
+/// A fixed pool of worker slots claimed via `lease`.  Thread-safe.
+class WorkerBudget {
+ public:
+  /// A budget of `total` concurrent threads (clamped to >= 1, so a
+  /// `hardware_concurrency()` of 0 degrades to strictly serial grants).
+  explicit WorkerBudget(unsigned total) noexcept
+      : total_(total == 0 ? 1 : total) {}
+
+  WorkerBudget(const WorkerBudget&) = delete;
+  WorkerBudget& operator=(const WorkerBudget&) = delete;
+
+  /// `std::thread::hardware_concurrency()`, with the "may return 0"
+  /// escape hatch resolved to 1.
+  [[nodiscard]] static unsigned hardware() noexcept;
+
+  /// The process-global budget (total = `hardware()`), shared by
+  /// `ParallelTrialRunner` and sharded campaign engines.
+  [[nodiscard]] static WorkerBudget& process() noexcept;
+
+  [[nodiscard]] unsigned total() const noexcept { return total_; }
+
+  /// Currently committed runnable threads, in [1, total()].
+  [[nodiscard]] unsigned committed() const noexcept {
+    return committed_.load(std::memory_order_relaxed);
+  }
+
+  /// Claim up to `requested` workers.  The grant is the calling thread
+  /// plus however many of the `requested - 1` extras are still
+  /// uncommitted — never 0, never pushing `committed()` past `total()`.
+  [[nodiscard]] WorkerLease lease(unsigned requested) noexcept;
+
+  /// The even-split planning policy: how many workers each of `ways`
+  /// sibling consumers of a `total`-sized budget should request so the
+  /// siblings together fill but never exceed it.  Both arguments clamp
+  /// to >= 1; the result is always >= 1.
+  [[nodiscard]] static unsigned split(unsigned total, unsigned ways) noexcept;
+
+ private:
+  friend class WorkerLease;
+  void release_extra(unsigned extra) noexcept {
+    committed_.fetch_sub(extra, std::memory_order_relaxed);
+  }
+
+  const unsigned total_;
+  std::atomic<unsigned> committed_{1};
+};
+
+}  // namespace ipfs::runtime

@@ -1,7 +1,9 @@
 #include "scenario/campaign.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -9,8 +11,14 @@
 #include "common/stats.hpp"
 #include "common/version.hpp"
 #include "dht/record_store.hpp"
+#include "measure/shard_tally.hpp"
 #include "net/network.hpp"
 #include "p2p/protocols.hpp"
+// Leaf runtime headers (no scenario includes): the sharded engine draws
+// its fork-join pool and worker accounting from the runtime layer without
+// creating an include cycle (DESIGN.md §13).
+#include "runtime/shard_pool.hpp"
+#include "runtime/worker_budget.hpp"
 
 namespace ipfs::scenario {
 
@@ -174,6 +182,18 @@ struct CampaignEngine::Impl {
                  static_cast<double>(content->spec().keys) *
                  config.population.scale)));
     }
+    if (config.sharding) {
+      const unsigned shards = std::max(config.sharding->shards, 1u);
+      unsigned workers = config.sharding->workers;
+      if (workers == 0) {
+        // Auto: claim workers from the process-wide budget that
+        // ParallelTrialRunner draws on too, so nested trial x shard
+        // pools never oversubscribe the machine (DESIGN.md §13).
+        shard_lease = runtime::WorkerBudget::process().lease(shards);
+        workers = shard_lease.granted();
+      }
+      shard_pool = std::make_unique<runtime::ShardPool>(shards, workers);
+    }
   }
 
   // ---- types -------------------------------------------------------------
@@ -336,6 +356,187 @@ struct CampaignEngine::Impl {
     return maintained_flags[peer * vantages.size() + v];
   }
 
+  // ---- intra-trial sharding (DESIGN.md §13) --------------------------------
+  //
+  // The event loop itself never forks: what fans out across the shard
+  // pool is *pure* whole-population computation — the slab-stepped
+  // churn-chain walks, the sample tallies, the crawler's per-peer
+  // classification — executed to a barrier inside a single event and
+  // merged in canonical ascending shard order.  Every sharded value is a
+  // pure function of (peer, index, seed) consumed at the exact call site
+  // the sequential engine draws it, so the export is byte-identical at
+  // any shard count and any worker count; the RNG-stream-dependent
+  // machinery (`peer_rng` children mutate the parent) stays sequential.
+
+  /// Fan `body(shard, first, last)` over `count` items: one contiguous
+  /// slice per shard on the pool (strict barrier), or a single inline
+  /// call covering everything when sharding is off.
+  template <typename Body>
+  void for_shards(std::size_t count, Body&& body) {
+    if (!shard_pool) {
+      body(0u, std::size_t{0}, count);
+      return;
+    }
+    const unsigned shards = shard_pool->shards();
+    shard_pool->run([&](unsigned shard) {
+      const auto [first, last] = runtime::ShardPool::slice(count, shards, shard);
+      body(shard, first, last);
+    });
+  }
+
+  [[nodiscard]] unsigned shard_count() const noexcept {
+    return shard_pool ? shard_pool->shards() : 1;
+  }
+
+  [[nodiscard]] bool sharded_churn() const noexcept {
+    return shard_pool != nullptr && churn.has_value();
+  }
+
+  /// One precomputed churn lifecycle transition: the values the
+  /// sequential `schedule_churn_session` callback would draw when it
+  /// fires at `at`.
+  struct ChurnTransition {
+    SimTime at = 0;          ///< absolute session start
+    SimDuration length = 0;  ///< session length, floor-clamped
+    SimDuration gap = 0;     ///< following offline gap, floor-clamped
+    bool redraw = false;     ///< dual-homed address redraw on this rejoin
+  };
+
+  /// Slab-buffered churn chains, one cursor + FIFO window per peer.
+  /// Chains extend in parallel (each draw is a pure function of
+  /// (peer, session, seed); the gap's diurnal input is the chain's own
+  /// deterministic time) and are consumed strictly in per-peer time
+  /// order by the scheduling callbacks.  Only the window between the
+  /// consumed prefix and `horizon` is buffered, so memory stays
+  /// O(population x slab / mean-cycle) on 14-day runs.
+  struct ChurnChains {
+    std::vector<SimTime> next_at;            ///< cursor: next unwalked transition
+    std::vector<std::uint32_t> next_session;
+    std::vector<std::vector<ChurnTransition>> buffered;
+    std::vector<std::uint32_t> consumed;     ///< per-peer FIFO head
+    SimTime horizon = 0;  ///< transitions strictly before this are buffered
+  };
+
+  /// Parallel phase of `schedule_churned_population`: size the chain
+  /// state and compute every peer's pure first-transition delay into the
+  /// `next_at` cursors.  Scheduling stays sequential in peer order
+  /// (insertion order is the queue's FIFO tie-break).
+  void seed_churn_chains() {
+    const std::size_t count = population.peers().size();
+    churn_chains.next_at.assign(count, 0);
+    churn_chains.next_session.assign(count, 0);
+    churn_chains.buffered.assign(count, {});
+    churn_chains.consumed.assign(count, 0);
+    for_shards(count, [&](unsigned, std::size_t first, std::size_t last) {
+      for (std::size_t i = first; i < last; ++i) {
+        const auto index = static_cast<std::uint32_t>(i);
+        if (churn->initially_online(index)) {
+          churn_chains.next_at[i] = static_cast<SimDuration>(
+              common::mix64(common::mix64(config.seed, 0x0ff5e7), index) %
+              static_cast<std::uint64_t>(10 * kMinute));
+        } else {
+          churn_chains.next_at[i] = std::max<SimDuration>(
+              churn->gap_length(index, 0, 0,
+                                population.peers()[i].category),
+              kMinute);
+        }
+      }
+    });
+  }
+
+  /// Extend every peer's buffered chain to `horizon` (absolute, one
+  /// shard per slice, barrier).  A no-op when `horizon` is not ahead of
+  /// the buffered one.
+  void extend_churn_chains(SimTime horizon) {
+    if (horizon <= churn_chains.horizon) return;
+    churn_chains.horizon = horizon;
+    for_shards(population.peers().size(),
+               [&](unsigned, std::size_t first, std::size_t last) {
+                 for (std::size_t i = first; i < last; ++i) {
+                   extend_churn_chain(i, horizon);
+                 }
+               });
+  }
+
+  /// Walk one peer's chain up to `horizon`: exactly the draw sequence of
+  /// the sequential callback, replayed ahead of time.
+  void extend_churn_chain(std::size_t i, SimTime horizon) {
+    std::vector<ChurnTransition>& buffer = churn_chains.buffered[i];
+    if (const std::uint32_t consumed = churn_chains.consumed[i];
+        consumed > 0) {
+      buffer.erase(buffer.begin(),
+                   buffer.begin() + static_cast<std::ptrdiff_t>(consumed));
+      churn_chains.consumed[i] = 0;
+    }
+    const RemotePeer& peer = population.peers()[i];
+    const auto index = static_cast<std::uint32_t>(i);
+    SimTime at = churn_chains.next_at[i];
+    std::uint32_t session = churn_chains.next_session[i];
+    while (at < horizon && at < config.period.duration) {
+      ChurnTransition tr;
+      tr.at = at;
+      tr.redraw = peer.has_alt_ip && churn->redraw_address(index, session);
+      tr.length = std::max<SimDuration>(
+          churn->session_length(index, session, peer.category), 30 * kSecond);
+      tr.gap = std::max<SimDuration>(
+          churn->gap_length(index, session + 1, at + tr.length, peer.category),
+          kMinute);
+      buffer.push_back(tr);
+      at += tr.length + tr.gap;
+      ++session;
+    }
+    churn_chains.next_at[i] = at;
+    churn_chains.next_session[i] = session;
+  }
+
+  /// The precomputed transition for `index` firing right now.  Refills
+  /// the whole population one slab past the clock when this peer's
+  /// window ran dry — triggered by event state only, so refill times are
+  /// as deterministic as the events themselves.
+  [[nodiscard]] ChurnTransition take_churn_transition(std::uint32_t index) {
+    if (churn_chains.consumed[index] == churn_chains.buffered[index].size()) {
+      extend_churn_chains(simulation.now() + config.sharding->slab);
+    }
+    const ChurnTransition tr =
+        churn_chains.buffered[index][churn_chains.consumed[index]++];
+    assert(tr.at == simulation.now());
+    return tr;
+  }
+
+  /// Ground-truth online count: per-shard partial tallies folded in
+  /// canonical shard order (equal to the sequential sweep — contiguous
+  /// slices in index order, integer sum).
+  [[nodiscard]] std::size_t true_online_count() {
+    std::vector<measure::PopulationTally> partials(shard_count());
+    for_shards(peer_states.online.size(),
+               [&](unsigned shard, std::size_t first, std::size_t last) {
+                 std::size_t online = 0;
+                 for (std::size_t i = first; i < last; ++i) {
+                   online += peer_states.online[i];
+                 }
+                 partials[shard].online = online;
+               });
+    return measure::fold(std::span<const measure::PopulationTally>(partials))
+        .online;
+  }
+
+  /// Ground-truth provider-slot count (content sample), same pattern.
+  [[nodiscard]] std::size_t true_record_count() {
+    std::vector<measure::ContentTally> partials(shard_count());
+    for_shards(population.peers().size(),
+               [&](unsigned shard, std::size_t first, std::size_t last) {
+                 std::size_t records = 0;
+                 for (std::size_t i = first; i < last; ++i) {
+                   if (peer_states.online[i] == 0) continue;
+                   const RemotePeer& peer = population.peers()[i];
+                   records += content->publish_count(peer.index, peer.category);
+                 }
+                 partials[shard].true_records = records;
+               });
+    return measure::fold(std::span<const measure::ContentTally>(partials))
+        .true_records;
+  }
+
   // ---- session machinery ---------------------------------------------------
 
   void schedule_population() {
@@ -411,6 +612,18 @@ struct CampaignEngine::Impl {
   // vantage attributes them to `kPeerOffline`.
 
   void schedule_churned_population() {
+    if (sharded_churn()) {
+      // Parallel pure phase: every first-transition delay at once.  The
+      // scheduling below then runs in plain peer order, so the queue's
+      // FIFO tie-break order matches the sequential engine exactly.
+      seed_churn_chains();
+      for (const RemotePeer& peer : population.peers()) {
+        // The clock is 0 here, so the absolute cursor IS the delay.
+        schedule_churn_session(peer.index, churn_chains.next_at[peer.index]);
+      }
+      extend_churn_chains(config.sharding->slab);
+      return;
+    }
     for (const RemotePeer& peer : population.peers()) {
       const std::uint32_t index = peer.index;
       if (churn->initially_online(index)) {
@@ -434,22 +647,32 @@ struct CampaignEngine::Impl {
       if (simulation.now() >= config.period.duration) return;
       const std::uint32_t session = peer_states.session_index[index]++;
       RemotePeer& peer = population.peers()[index];
+      // Sharded runs consume the slab-precomputed transition; the values
+      // are equal by purity (the chain walk replays these exact draws),
+      // with the clock match asserted inside take_churn_transition.
+      ChurnTransition tr;
+      if (sharded_churn()) {
+        tr = take_churn_transition(index);
+      } else {
+        tr.redraw = peer.has_alt_ip && churn->redraw_address(index, session);
+        tr.length = std::max<SimDuration>(
+            churn->session_length(index, session, peer.category), 30 * kSecond);
+        // The following offline gap, with diurnal modulation evaluated
+        // where the gap begins.
+        tr.gap = std::max<SimDuration>(
+            churn->gap_length(index, session + 1, simulation.now() + tr.length,
+                              peer.category),
+            kMinute);
+      }
       // Rejoining peers keep their PeerId but may come back from their
       // other IP — the §V-A dual-homing rules applied per session (the
       // per-connection alternation still applies on top).
-      if (peer.has_alt_ip && churn->redraw_address(index, session)) {
+      if (tr.redraw) {
         std::swap(peer.ip, peer.alt_ip);
       }
-      const auto length = std::max<SimDuration>(
-          churn->session_length(index, session, peer.category), 30 * kSecond);
-      start_session(index, simulation.now() + length);
-      // The next cycle: this session plus the following offline gap, with
-      // diurnal modulation evaluated where the gap begins.
-      const auto gap = std::max<SimDuration>(
-          churn->gap_length(index, session + 1, simulation.now() + length,
-                            peer.category),
-          kMinute);
-      schedule_churn_session(index, length + gap);
+      start_session(index, simulation.now() + tr.length);
+      // The next cycle: this session plus the following offline gap.
+      schedule_churn_session(index, tr.length + tr.gap);
     });
   }
 
@@ -464,9 +687,7 @@ struct CampaignEngine::Impl {
           measure::PopulationSample sample;
           sample.at = simulation.now();
           sample.total = population.peers().size();
-          for (const std::uint8_t online : peer_states.online) {
-            sample.online += online;
-          }
+          sample.online = true_online_count();
           std::unordered_set<std::uint32_t> connected;
           for (const Vantage& vantage : vantages) {
             for (const auto& [conn_id, meta] : vantage.conns) {
@@ -718,10 +939,7 @@ struct CampaignEngine::Impl {
             sample.vantage_records += cv.records->record_count();
             sample.vantage_keys += cv.records->key_count();
           }
-          for (const RemotePeer& peer : population.peers()) {
-            if (peer_states.online[peer.index] == 0) continue;
-            sample.true_records += content->publish_count(peer.index, peer.category);
-          }
+          sample.true_records = true_record_count();
           if (content_sink != nullptr) content_sink->on_content(sample);
         }));
   }
@@ -1086,6 +1304,43 @@ struct CampaignEngine::Impl {
 
   // ---- active-crawler baseline ---------------------------------------------
 
+  /// Parallel pure phase of a sharded crawl: classify every peer (skip /
+  /// online / stale) and precompute the conditions reachability verdict.
+  /// Everything read here — protocol lists, online flags, condition
+  /// hashes — is stable for the duration of the event; no RNG stream is
+  /// touched, so the sequential draw phase consumes the exact prng
+  /// sequence of the unsharded loop.
+  enum class CrawlClass : std::uint8_t { kSkip = 0, kOnline = 1, kStale = 2 };
+
+  void classify_crawl_targets() {
+    const std::size_t count = population.peers().size();
+    crawl_classes.assign(count, 0);
+    crawl_reachable.assign(count, 0);
+    const SimTime now = simulation.now();
+    const std::string kad_protocol(proto::kKad);
+    for_shards(count, [&](unsigned, std::size_t first, std::size_t last) {
+      for (std::size_t i = first; i < last; ++i) {
+        const RemotePeer& peer = population.peers()[i];
+        if (!peer.dht_server) continue;
+        const bool announces_kad =
+            std::find(peer.protocols.begin(), peer.protocols.end(),
+                      kad_protocol) != peer.protocols.end();
+        if (!announces_kad) continue;
+        if (peer_states.online[i] != 0) {
+          crawl_classes[i] = static_cast<std::uint8_t>(CrawlClass::kOnline);
+          const bool reachable =
+              conditions == std::nullopt ||
+              (conditions->accepts_inbound(peer.pid, to_string(peer.category)) &&
+               !conditions->zone_down(peer.pid, now) &&
+               !conditions->zone_partitioned(peer.pid, now));
+          crawl_reachable[i] = reachable ? 1 : 0;
+        } else if (now - peer_states.last_online[i] < 24 * kHour) {
+          crawl_classes[i] = static_cast<std::uint8_t>(CrawlClass::kStale);
+        }
+      }
+    });
+  }
+
   void schedule_crawler(measure::MeasurementSink& sink) {
     if (!config.enable_crawler) return;
     crawler_task = simulation.schedule_every(
@@ -1094,6 +1349,34 @@ struct CampaignEngine::Impl {
           common::Rng prng = rng.child(common::mix64(0xc4a1, simulation.now()));
           CrawlSnapshot snapshot;
           snapshot.at = simulation.now();
+          if (shard_pool) {
+            // Two-phase sharded sweep: parallel classification, then a
+            // sequential draw/tally walk in peer order whose bernoulli
+            // call sites mirror the unsharded loop below one-for-one.
+            classify_crawl_targets();
+            for (const RemotePeer& peer : population.peers()) {
+              switch (static_cast<CrawlClass>(crawl_classes[peer.index])) {
+                case CrawlClass::kSkip:
+                  break;
+                case CrawlClass::kOnline: {
+                  const CategoryParams& params =
+                      config.population.params(peer.category);
+                  if (prng.bernoulli(params.crawl_visibility)) {
+                    if (crawl_reachable[peer.index] != 0) {
+                      ++snapshot.reached_servers;
+                    }
+                    ++snapshot.learned_pids;
+                  }
+                  break;
+                }
+                case CrawlClass::kStale:
+                  if (prng.bernoulli(0.5)) ++snapshot.learned_pids;
+                  break;
+              }
+            }
+            sink.on_crawl(snapshot);
+            return;
+          }
           const std::string kad_protocol(proto::kKad);
           for (const RemotePeer& peer : population.peers()) {
             if (!peer.dht_server) continue;
@@ -1382,6 +1665,13 @@ struct CampaignEngine::Impl {
   std::unordered_map<std::uint32_t, std::size_t> server_pos;
   sim::TaskId crawler_task = sim::kInvalidTask;
   sim::TaskId population_task = sim::kInvalidTask;
+  // Intra-trial sharding (DESIGN.md §13); all empty/null unless
+  // `config.sharding` is engaged.
+  runtime::WorkerLease shard_lease;
+  std::unique_ptr<runtime::ShardPool> shard_pool;
+  ChurnChains churn_chains;
+  std::vector<std::uint8_t> crawl_classes;    ///< CrawlClass scratch per crawl
+  std::vector<std::uint8_t> crawl_reachable;  ///< 0/1 scratch per crawl
 };
 
 std::optional<std::string> CampaignEngine::validate(const CampaignConfig& config) {
@@ -1418,6 +1708,10 @@ std::optional<std::string> CampaignEngine::validate(const CampaignConfig& config
   }
   if (config.content) {
     if (auto error = ContentSpec::validate(*config.content)) return error;
+  }
+  if (config.sharding) {
+    if (config.sharding->shards == 0) return "sharding.shards must be >= 1";
+    if (config.sharding->slab <= 0) return "sharding.slab must be positive";
   }
   return std::nullopt;
 }

@@ -1,0 +1,60 @@
+// Unit tests for the per-shard partial tallies (DESIGN.md §13) that feed
+// PopulationSample/ContentSample ground truth in sharded campaigns.
+#include "measure/shard_tally.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ipfs::measure {
+namespace {
+
+TEST(ShardTally, FoldOfEmptySpanIsZero) {
+  EXPECT_EQ(fold(std::span<const PopulationTally>{}).online, 0u);
+  EXPECT_EQ(fold(std::span<const ContentTally>{}).true_records, 0u);
+}
+
+TEST(ShardTally, FoldSumsPartialsInShardOrder) {
+  const std::vector<PopulationTally> population = {{3}, {0}, {41}, {7}};
+  EXPECT_EQ(fold(std::span<const PopulationTally>(population)).online, 51u);
+
+  const std::vector<ContentTally> content = {{10}, {2}, {0}};
+  EXPECT_EQ(fold(std::span<const ContentTally>(content)).true_records, 12u);
+}
+
+TEST(ShardTally, FoldMatchesUnshardedSumForAnyPartition) {
+  // Shard-count invariance in miniature: however a fixed per-peer online
+  // predicate is partitioned into contiguous slices, the fold equals the
+  // flat sum.
+  constexpr std::size_t kPeers = 97;
+  const auto online = [](std::size_t peer) { return peer % 3 != 0; };
+  std::size_t flat = 0;
+  for (std::size_t peer = 0; peer < kPeers; ++peer) flat += online(peer);
+
+  for (const unsigned shards : {1u, 2u, 5u, 16u, 97u}) {
+    std::vector<PopulationTally> partials(shards);
+    for (unsigned shard = 0; shard < shards; ++shard) {
+      const std::size_t first = kPeers * shard / shards;
+      const std::size_t last = kPeers * (shard + 1) / shards;
+      for (std::size_t peer = first; peer < last; ++peer) {
+        partials[shard].online += online(peer);
+      }
+    }
+    EXPECT_EQ(fold(std::span<const PopulationTally>(partials)).online, flat)
+        << "shards=" << shards;
+  }
+}
+
+TEST(ShardTally, MergeAccumulates) {
+  PopulationTally population{5};
+  population.merge(PopulationTally{7});
+  EXPECT_EQ(population.online, 12u);
+
+  ContentTally content{1};
+  content.merge(ContentTally{0});
+  content.merge(ContentTally{9});
+  EXPECT_EQ(content.true_records, 10u);
+}
+
+}  // namespace
+}  // namespace ipfs::measure

@@ -1,0 +1,164 @@
+// Unit tests for the fork-join shard pool (DESIGN.md §13): strict-barrier
+// fan-out, canonical slicing, exception policy, and pool reuse — the
+// primitives the sharded CampaignEngine's byte-identity rests on.
+#include "runtime/shard_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ipfs::runtime {
+namespace {
+
+TEST(ShardPool, ClampsDegenerateCounts) {
+  ShardPool zero(0, 0);
+  EXPECT_EQ(zero.shards(), 1u);
+  EXPECT_EQ(zero.workers(), 1u);
+
+  // Workers clamp to shards: an idle helper could never claim work.
+  ShardPool oversubscribed(3, 99);
+  EXPECT_EQ(oversubscribed.shards(), 3u);
+  EXPECT_EQ(oversubscribed.workers(), 3u);
+}
+
+TEST(ShardPool, RunsEveryShardExactlyOnce) {
+  for (const unsigned workers : {1u, 2u, 4u}) {
+    ShardPool pool(8, workers);
+    std::vector<std::atomic<int>> hits(8);
+    pool.run([&](unsigned shard) { hits[shard].fetch_add(1); });
+    for (unsigned shard = 0; shard < 8; ++shard) {
+      EXPECT_EQ(hits[shard].load(), 1) << "workers=" << workers
+                                       << " shard=" << shard;
+    }
+  }
+}
+
+TEST(ShardPool, RunIsAStrictBarrier) {
+  // After run() returns, every body effect must be visible to the caller —
+  // no shard may still be in flight.
+  ShardPool pool(16, 4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> done{0};
+    pool.run([&](unsigned) { done.fetch_add(1); });
+    EXPECT_EQ(done.load(), 16) << "round=" << round;
+  }
+}
+
+TEST(ShardPool, PoolIsReusableAcrossJobs) {
+  ShardPool pool(4, 2);
+  long long total = 0;
+  for (int round = 0; round < 100; ++round) {
+    std::vector<long long> partial(4, 0);
+    pool.run([&](unsigned shard) { partial[shard] = shard + round; });
+    total += std::accumulate(partial.begin(), partial.end(), 0LL);
+  }
+  // sum over rounds of (0+1+2+3 + 4*round)
+  EXPECT_EQ(total, 100LL * 6 + 4LL * (99 * 100 / 2));
+}
+
+TEST(ShardPool, LowestShardExceptionWinsTheRethrow) {
+  ShardPool pool(6, 3);
+  for (int round = 0; round < 20; ++round) {
+    try {
+      pool.run([](unsigned shard) {
+        if (shard % 2 == 1) {
+          throw std::runtime_error("shard " + std::to_string(shard));
+        }
+      });
+      FAIL() << "run() must rethrow a body exception";
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "shard 1");
+    }
+  }
+}
+
+TEST(ShardPool, PoolSurvivesAThrowingJob) {
+  ShardPool pool(4, 2);
+  EXPECT_THROW(pool.run([](unsigned) { throw std::logic_error("boom"); }),
+               std::logic_error);
+  // The next job must run normally — errors are per job, not sticky.
+  std::atomic<int> done{0};
+  pool.run([&](unsigned) { done.fetch_add(1); });
+  EXPECT_EQ(done.load(), 4);
+}
+
+TEST(ShardPool, SingleWorkerRunsInlineAscending) {
+  // workers == 1 degrades to an inline loop in ascending shard order (no
+  // helper threads exist to race with).
+  ShardPool pool(5, 1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<unsigned> order;
+  pool.run([&](unsigned shard) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(shard);
+  });
+  EXPECT_EQ(order, (std::vector<unsigned>{0, 1, 2, 3, 4}));
+}
+
+TEST(ShardPool, CallerParticipatesInMultiWorkerJobs) {
+  // The calling thread is one of the workers: with long-enough jobs it
+  // must claim at least one shard itself (it drains until the job ends).
+  ShardPool pool(64, 2);
+  std::mutex mutex;
+  std::set<std::thread::id> seen;
+  pool.run([&](unsigned) {
+    const std::lock_guard<std::mutex> hold(mutex);
+    seen.insert(std::this_thread::get_id());
+  });
+  EXPECT_TRUE(seen.contains(std::this_thread::get_id()));
+}
+
+TEST(ShardPool, SliceIsACanonicalPartition) {
+  // Contiguous, non-overlapping, concatenating to [0, count) in ascending
+  // shard order, sizes differing by at most one.
+  for (const std::size_t count : {0uz, 1uz, 7uz, 64uz, 1000uz}) {
+    for (const unsigned shards : {1u, 2u, 3u, 8u, 13u}) {
+      std::size_t cursor = 0;
+      std::size_t smallest = count + 1, largest = 0;
+      for (unsigned shard = 0; shard < shards; ++shard) {
+        const auto [first, last] = ShardPool::slice(count, shards, shard);
+        EXPECT_EQ(first, cursor) << count << "/" << shards << "@" << shard;
+        EXPECT_LE(first, last);
+        cursor = last;
+        smallest = std::min(smallest, last - first);
+        largest = std::max(largest, last - first);
+      }
+      EXPECT_EQ(cursor, count) << count << "/" << shards;
+      EXPECT_LE(largest - smallest, 1u) << count << "/" << shards;
+    }
+  }
+}
+
+TEST(ShardPool, ShardLocalWritesNeedNoLocking) {
+  // The engine's usage pattern: each body writes only its own slice of a
+  // shared array plus its own partial slot.  Any data race here is the
+  // race TSan hunts in CI (`ctest -L shard` under IPFS_SANITIZE=thread).
+  constexpr std::size_t kItems = 10'000;
+  ShardPool pool(8, 4);
+  std::vector<std::uint64_t> values(kItems, 0);
+  std::vector<std::uint64_t> partial(8, 0);
+  pool.run([&](unsigned shard) {
+    const auto [first, last] = ShardPool::slice(kItems, 8, shard);
+    for (std::size_t i = first; i < last; ++i) {
+      values[i] = i * 3 + 1;
+      partial[shard] += values[i];
+    }
+  });
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < kItems; ++i) {
+    EXPECT_EQ(values[i], i * 3 + 1);
+    expected += i * 3 + 1;
+  }
+  EXPECT_EQ(std::accumulate(partial.begin(), partial.end(), 0ULL), expected);
+}
+
+}  // namespace
+}  // namespace ipfs::runtime

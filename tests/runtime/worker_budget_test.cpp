@@ -1,0 +1,146 @@
+// Unit tests for the process-wide worker budget (DESIGN.md §13): the
+// accounting `ParallelTrialRunner` and sharded campaign engines share so
+// nested trials x shards never commit more threads than the hardware has.
+#include "runtime/worker_budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ipfs::runtime {
+namespace {
+
+TEST(WorkerBudget, TotalClampsToAtLeastOne) {
+  // hardware_concurrency() may report 0; a zero budget must degrade to
+  // strictly serial grants, not divide-by-zero or dead-lock semantics.
+  EXPECT_EQ(WorkerBudget(0).total(), 1u);
+  EXPECT_EQ(WorkerBudget(1).total(), 1u);
+  EXPECT_EQ(WorkerBudget(8).total(), 8u);
+}
+
+TEST(WorkerBudget, HardwareIsNeverZero) {
+  EXPECT_GE(WorkerBudget::hardware(), 1u);
+}
+
+TEST(WorkerBudget, CommittedStartsAtOwningThread) {
+  WorkerBudget budget(4);
+  EXPECT_EQ(budget.committed(), 1u);
+}
+
+TEST(WorkerBudget, LeaseGrantsCallerPlusUncommittedRemainder) {
+  WorkerBudget budget(4);
+  // 3 uncommitted slots; asking for 3 means caller + 2 extras.
+  WorkerLease lease = budget.lease(3);
+  EXPECT_EQ(lease.granted(), 3u);
+  EXPECT_EQ(budget.committed(), 3u);
+
+  // Only one slot left: a second consumer asking for 3 gets caller + 1.
+  WorkerLease second = budget.lease(3);
+  EXPECT_EQ(second.granted(), 2u);
+  EXPECT_EQ(budget.committed(), 4u);
+
+  // Budget exhausted: further leases degrade to the caller alone.
+  WorkerLease third = budget.lease(5);
+  EXPECT_EQ(third.granted(), 1u);
+  EXPECT_EQ(budget.committed(), 4u);
+}
+
+TEST(WorkerBudget, GrantNeverExceedsRequestOrTotal) {
+  WorkerBudget budget(16);
+  WorkerLease lease = budget.lease(4);
+  EXPECT_EQ(lease.granted(), 4u);  // request caps the grant below total
+  EXPECT_EQ(budget.committed(), 4u);
+
+  WorkerLease rest = budget.lease(99);
+  EXPECT_EQ(rest.granted(), 13u);  // 12 uncommitted extras + the caller
+  EXPECT_EQ(budget.committed(), 16u);
+}
+
+TEST(WorkerBudget, ZeroAndOneRequestsAreFreeGrants) {
+  WorkerBudget budget(2);
+  WorkerLease none = budget.lease(0);
+  WorkerLease one = budget.lease(1);
+  EXPECT_EQ(none.granted(), 1u);
+  EXPECT_EQ(one.granted(), 1u);
+  EXPECT_EQ(budget.committed(), 1u);  // the calling thread is pre-counted
+}
+
+TEST(WorkerBudget, ReleaseReturnsExtrasAndIsIdempotent) {
+  WorkerBudget budget(4);
+  WorkerLease lease = budget.lease(4);
+  EXPECT_EQ(budget.committed(), 4u);
+  lease.release();
+  EXPECT_EQ(budget.committed(), 1u);
+  lease.release();  // second release must be a no-op
+  EXPECT_EQ(budget.committed(), 1u);
+  EXPECT_EQ(lease.granted(), 1u) << "a released lease is the caller alone";
+}
+
+TEST(WorkerBudget, LeaseDestructorReleases) {
+  WorkerBudget budget(4);
+  {
+    WorkerLease lease = budget.lease(4);
+    EXPECT_EQ(budget.committed(), 4u);
+  }
+  EXPECT_EQ(budget.committed(), 1u);
+}
+
+TEST(WorkerBudget, LeaseMoveTransfersOwnership) {
+  WorkerBudget budget(4);
+  WorkerLease lease = budget.lease(3);
+  WorkerLease moved = std::move(lease);
+  EXPECT_EQ(moved.granted(), 3u);
+  lease.release();  // moved-from lease must be inert
+  EXPECT_EQ(budget.committed(), 3u);
+
+  WorkerLease assigned;
+  assigned = std::move(moved);
+  EXPECT_EQ(assigned.granted(), 3u);
+  assigned.release();
+  EXPECT_EQ(budget.committed(), 1u);
+}
+
+TEST(WorkerBudget, MoveAssignReleasesThePreviousLease) {
+  WorkerBudget budget(6);
+  WorkerLease first = budget.lease(3);   // commits 2 extras
+  WorkerLease second = budget.lease(3);  // commits 2 more
+  EXPECT_EQ(budget.committed(), 5u);
+  first = std::move(second);  // first's extras must return to the budget
+  EXPECT_EQ(budget.committed(), 3u);
+}
+
+TEST(WorkerBudget, ConcurrentLeasingNeverOvercommits) {
+  WorkerBudget budget(8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&budget] {
+      for (int round = 0; round < 500; ++round) {
+        WorkerLease lease = budget.lease(3);
+        EXPECT_GE(lease.granted(), 1u);
+        EXPECT_LE(lease.granted(), 3u);
+        EXPECT_LE(budget.committed(), budget.total());
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(budget.committed(), 1u);
+}
+
+TEST(WorkerBudget, SplitEvenlyDividesWithFloorOfOne) {
+  EXPECT_EQ(WorkerBudget::split(8, 2), 4u);
+  EXPECT_EQ(WorkerBudget::split(8, 3), 2u);  // floor division
+  EXPECT_EQ(WorkerBudget::split(4, 8), 1u);  // more siblings than budget
+  EXPECT_EQ(WorkerBudget::split(0, 4), 1u);  // unknown hardware -> serial
+  EXPECT_EQ(WorkerBudget::split(8, 0), 8u);  // ways clamps to 1
+}
+
+TEST(WorkerBudget, ProcessBudgetMatchesHardware) {
+  WorkerBudget& process = WorkerBudget::process();
+  EXPECT_EQ(process.total(), WorkerBudget::hardware());
+  EXPECT_EQ(&process, &WorkerBudget::process());
+}
+
+}  // namespace
+}  // namespace ipfs::runtime

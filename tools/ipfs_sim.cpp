@@ -18,12 +18,20 @@
 //   --scale X      override the population scale (CI smoke runs use this)
 //   --duration S   override the measured period, in simulated seconds
 //                  (CI smoke runs pair a huge --scale with a short window)
+//   --shards N     intra-trial population shards (0 = one per core); the
+//                  export is byte-identical at any count (DESIGN.md §13)
+//   --shard-workers N
+//                  threads driving the shard fan-outs (0 = lease from the
+//                  process worker budget, shared with --workers)
+//   --slab SECONDS churn-chain precompute slab, in simulated seconds
 //   --quiet        suppress the progress summary on stderr
 //
-// Single-trial runs execute on a `scenario::CampaignEngine` directly;
+// Single-trial runs execute on a `scenario::CampaignEngine` directly
+// (through `runtime::ShardedCampaignRunner` when --shards is given);
 // multi-trial sweeps go through `runtime::ParallelTrialRunner`, whose
 // merged output is byte-identical to the sequential loop at any worker
-// count.
+// count — with --shards, each trial's engine additionally fans its
+// population across shards, still without moving a byte.
 #include <algorithm>
 #include <charconv>
 #include <chrono>
@@ -36,6 +44,7 @@
 
 #include "measure/sink.hpp"
 #include "runtime/parallel.hpp"
+#include "runtime/sharded.hpp"
 #include "runtime/testbed.hpp"
 #include "scenario/campaign.hpp"
 #include "scenario/scenario_spec.hpp"
@@ -57,7 +66,8 @@ int usage(std::ostream& out, int code) {
          "  validate FILE...         parse + validate scenario files\n"
          "  run SCENARIO [options]   run a scenario file or builtin name\n"
          "      --out FILE --workers N --trials N --seed S --scale X\n"
-         "      --duration SECONDS --quiet\n"
+         "      --duration SECONDS --shards N --shard-workers N\n"
+         "      --slab SECONDS --quiet\n"
          "  export NAME|--all [--dir DIR | --out FILE]\n"
          "                           write builtin spec(s) as JSON\n"
          "  selftest                 run a tiny testbed experiment\n";
@@ -232,6 +242,9 @@ int cmd_run(const std::vector<std::string>& args) {
   std::optional<std::uint64_t> seed_override;
   std::optional<double> scale_override;
   std::optional<double> duration_override;  // simulated seconds
+  std::optional<std::uint32_t> shards;
+  std::uint32_t shard_workers = 0;        // 0 = lease from the worker budget
+  std::optional<double> slab_seconds;     // simulated seconds
   bool quiet = false;
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -275,10 +288,33 @@ int cmd_run(const std::vector<std::string>& args) {
         return 2;
       }
       duration_override = seconds;
+    } else if (arg == "--shards" && has_value) {
+      std::uint32_t count = 0;
+      if (!parse_number(args[++i], count)) {
+        std::cerr << "ipfs_sim run: --shards expects an integer\n";
+        return 2;
+      }
+      shards = count;
+    } else if (arg == "--shard-workers" && has_value) {
+      if (!parse_number(args[++i], shard_workers)) {
+        std::cerr << "ipfs_sim run: --shard-workers expects an integer\n";
+        return 2;
+      }
+    } else if (arg == "--slab" && has_value) {
+      double seconds = 0.0;
+      if (!parse_double(args[++i], seconds) || seconds <= 0.0) {
+        std::cerr << "ipfs_sim run: --slab expects seconds > 0\n";
+        return 2;
+      }
+      slab_seconds = seconds;
     } else {
       std::cerr << "ipfs_sim run: unknown option '" << arg << "'\n";
       return 2;
     }
+  }
+  if ((shard_workers != 0 || slab_seconds) && !shards) {
+    std::cerr << "ipfs_sim run: --shard-workers/--slab need --shards\n";
+    return 2;
   }
 
   std::string error;
@@ -324,21 +360,49 @@ int cmd_run(const std::vector<std::string>& args) {
               << spec.population.scale << ", seed " << spec.campaign.seed << "\n";
   }
 
+  // --shards resolves to a ShardPlan through the sharded runner, so
+  // defaults (0 -> one shard per core, 6 h slab) live in one place.
+  ipfs::runtime::ShardedCampaignRunner::Options shard_options;
+  if (shards) {
+    shard_options.shards = *shards;
+    shard_options.workers = shard_workers;
+    if (slab_seconds) {
+      shard_options.slab = ipfs::common::from_seconds(*slab_seconds);
+    }
+  }
+
   const auto start = std::chrono::steady_clock::now();
   if (spec.campaign.trials == 1) {
-    auto engine = CampaignEngine::create(spec.to_campaign_config());
-    if (!engine) {
-      std::cerr << "ipfs_sim run: " << engine.error() << "\n";
-      return 1;
+    if (shards) {
+      ipfs::runtime::ShardedCampaignRunner runner(shard_options);
+      auto outcome = runner.run(spec.to_campaign_config(), sink);
+      if (!outcome) {
+        std::cerr << "ipfs_sim run: " << outcome.error() << "\n";
+        return 1;
+      }
+    } else {
+      auto engine = CampaignEngine::create(spec.to_campaign_config());
+      if (!engine) {
+        std::cerr << "ipfs_sim run: " << engine.error() << "\n";
+        return 1;
+      }
+      engine->run(sink);
     }
-    engine->run(sink);
   } else {
     const auto seeds = spec.trial_seeds();
     ParallelTrialRunner::Options options;
     options.workers = spec.campaign.workers;
     ParallelTrialRunner runner(options);
-    auto outcome = runner.run(
-        ParallelTrialRunner::seed_sweep(spec.to_campaign_config(), seeds), sink);
+    auto base = spec.to_campaign_config();
+    if (shards) {
+      // Each trial's engine shards its population; auto worker counts
+      // lease from the same process budget the trial pool draws on, so
+      // trials x shards never oversubscribes the machine.
+      base.sharding =
+          ipfs::runtime::ShardedCampaignRunner(shard_options).resolve_plan();
+    }
+    auto outcome =
+        runner.run(ParallelTrialRunner::seed_sweep(std::move(base), seeds), sink);
     if (!outcome) {
       std::cerr << "ipfs_sim run: " << outcome.error() << "\n";
       return 1;
