@@ -20,6 +20,10 @@
 //                wall-clock for one churned campaign (DESIGN.md §13);
 //                asserts the two exports are byte-identical before timing
 //                means anything
+//   phase_program
+//                scenario::PhaseProgram::rates_at lookups (the per-draw
+//                modulation hot path of DESIGN.md §14) plus the wall-clock
+//                overhead a modulating program adds to one campaign
 //
 // Usage:  perf_suite [--smoke] [--out FILE] [--check-baseline FILE]
 //   --smoke           tiny sizes for CI (seconds, no timing assertions)
@@ -27,7 +31,8 @@
 //   --check-baseline  compare event_queue.ns_per_event against a committed
 //                     BENCH_core.json; exit 1 on a >25% regression (the
 //                     scheduler guardrail — see DESIGN.md §12) or when the
-//                     baseline predates the sharded_campaign section
+//                     baseline predates the sharded_campaign or
+//                     phase_program sections
 // IPFS_SCALE / IPFS_SEED tune the campaign section (see bench/README.md).
 #include <algorithm>
 #include <chrono>
@@ -50,6 +55,7 @@
 #include "runtime/worker_budget.hpp"
 #include "scenario/churn.hpp"
 #include "scenario/content.hpp"
+#include "scenario/phases.hpp"
 #include "sim/reference_scheduler.hpp"
 #include "sim/simulation.hpp"
 
@@ -526,6 +532,92 @@ ShardedCampaignNumbers bench_sharded_campaign(bool smoke) {
   return numbers;
 }
 
+// ---- phase_program: rates_at lookups + campaign modulation overhead ---------
+
+struct PhaseProgramNumbers {
+  std::size_t samples = 0;
+  double rates_ns = 0.0;   ///< per rates_at lookup, 4-phase mixed program
+  double plain_ms = 0.0;   ///< churn+content campaign, no phases
+  double phased_ms = 0.0;  ///< same campaign with a modulating program
+};
+
+PhaseProgramNumbers bench_phase_program(bool smoke) {
+  namespace scenario = ipfs::scenario;
+
+  // A representative program exercising every mode branch of the lookup:
+  // hold, ramp interpolation, burst cycle division, and the flash-crowd
+  // spike fields.
+  const ipfs::common::SimDuration hold = 90 * ipfs::common::kMinute;
+  scenario::PhaseSpec calm;
+  calm.hold = hold;
+  scenario::PhaseSpec climb;
+  climb.mode = scenario::PhaseMode::kRamp;
+  climb.hold = hold;
+  climb.churn_rate = 2.5;
+  climb.fetch_rate = 3.0;
+  scenario::PhaseSpec storm;
+  storm.mode = scenario::PhaseMode::kBurst;
+  storm.hold = hold;
+  storm.fetch_rate = 4.0;
+  storm.switch_interval = 20 * ipfs::common::kMinute;
+  scenario::PhaseSpec flash;
+  flash.mode = scenario::PhaseMode::kFlashCrowd;
+  flash.hold = hold;
+  flash.spike = 6.0;
+  flash.hot_fraction = 0.8;
+  scenario::PhaseProgramSpec spec;
+  spec.program = {calm, climb, storm, flash};
+  const scenario::PhaseProgram program(spec);
+
+  PhaseProgramNumbers numbers;
+  numbers.samples = smoke ? 20'000 : 2'000'000;
+
+  // The engine queries at event times, which stride forward but revisit
+  // nearby values constantly; i * 31 over the program span approximates
+  // that without a predictable per-phase sweep.
+  const auto span = static_cast<std::uint64_t>(program.total_duration());
+  double checksum = 0.0;
+  auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < numbers.samples; ++i) {
+    const auto at = static_cast<ipfs::common::SimTime>((i * 31) % span);
+    checksum += program.rates_at(at).fetch;
+  }
+  numbers.rates_ns = elapsed_ms(start) * 1e6 / static_cast<double>(numbers.samples);
+  if (checksum <= 0.0) {
+    std::cerr << "phase_program checksum implausible\n";
+    std::exit(1);
+  }
+
+  // Modulation overhead: the same churn+content campaign with and without
+  // a program whose every rate channel is live.
+  scenario::CampaignConfig config;
+  config.period = scenario::PeriodSpec::P4();
+  config.period.duration = (smoke ? 1 : 6) * ipfs::common::kHour;
+  const double scale = std::getenv("IPFS_SCALE") != nullptr
+                           ? ipfs::bench::env_scale()
+                           : (smoke ? 0.005 : 0.05);
+  config.population = scenario::PopulationSpec::test_scale(scale);
+  config.seed = ipfs::bench::env_seed();
+  config.churn.emplace();
+  config.content.emplace();
+
+  ipfs::measure::MeasurementSink devnull;
+  start = std::chrono::steady_clock::now();
+  ipfs::bench::make_engine(config).run(devnull);
+  numbers.plain_ms = elapsed_ms(start);
+
+  // Rescale the program to the campaign horizon (validate requires the
+  // total hold to fit the period).
+  const ipfs::common::SimDuration quarter = config.period.duration / 4;
+  for (scenario::PhaseSpec& phase : spec.program) phase.hold = quarter;
+  spec.program[2].switch_interval = quarter / 4;
+  config.phases = spec;
+  start = std::chrono::steady_clock::now();
+  ipfs::bench::make_engine(config).run(devnull);
+  numbers.phased_ms = elapsed_ms(start);
+  return numbers;
+}
+
 // ---- baseline guardrail -----------------------------------------------------
 
 /// Compares a fresh event_queue measurement against the committed
@@ -562,6 +654,15 @@ bool check_event_queue_baseline(const std::string& baseline_path,
       sharded->find("shards") == nullptr) {
     std::cerr << "check-baseline: " << baseline_path
               << " predates the sharded_campaign section — regenerate "
+              << "BENCH_core.json (bench/README.md)\n";
+    return false;
+  }
+  const ipfs::common::JsonValue* phases = parsed->find("phase_program");
+  if (phases == nullptr || phases->find("rates_ns_per_lookup") == nullptr ||
+      phases->find("plain_campaign_ms") == nullptr ||
+      phases->find("phased_campaign_ms") == nullptr) {
+    std::cerr << "check-baseline: " << baseline_path
+              << " predates the phase_program section — regenerate "
               << "BENCH_core.json (bench/README.md)\n";
     return false;
   }
@@ -603,14 +704,14 @@ int main(int argc, char** argv) {
   ipfs::bench::print_header("Core performance suite",
                             "perf trajectory (BENCH_core.json), not a paper figure");
 
-  std::cout << "[1/7] lookup: RoutingTable::closest ...\n";
+  std::cout << "[1/8] lookup: RoutingTable::closest ...\n";
   const LookupNumbers lookup = bench_lookup(smoke);
   std::cout << "      table=" << lookup.table_size << " peers, "
             << lookup.closest_ns << " ns/query (sort-everything baseline: "
             << lookup.baseline_ns << " ns/query, "
             << lookup.baseline_ns / lookup.closest_ns << "x)\n";
 
-  std::cout << "[2/7] event queue: schedule + drain ...\n";
+  std::cout << "[2/8] event queue: schedule + drain ...\n";
   const EventQueueNumbers events = bench_event_queue(smoke);
   std::cout << "      " << events.events << " events, " << events.ns_per_event
             << " ns/event bulk (" << 1e9 / events.ns_per_event
@@ -619,23 +720,23 @@ int main(int argc, char** argv) {
             << events.heap_ns_per_event << " ns/event ("
             << events.speedup_vs_heap << "x)\n";
 
-  std::cout << "[3/7] conditions: ConditionModel sampling ...\n";
+  std::cout << "[3/8] conditions: ConditionModel sampling ...\n";
   const ConditionNumbers conditions = bench_conditions(smoke);
   std::cout << "      " << conditions.samples << " samples, "
             << conditions.one_way_ns << " ns/one_way, " << conditions.gate_ns
             << " ns/dial_allowed\n";
 
-  std::cout << "[4/7] churn_model: ChurnModel sampling ...\n";
+  std::cout << "[4/8] churn_model: ChurnModel sampling ...\n";
   const ChurnModelNumbers churn = bench_churn_model(smoke);
   std::cout << "      " << churn.samples << " samples, " << churn.session_ns
             << " ns/session, " << churn.gap_ns << " ns/gap\n";
 
-  std::cout << "[5/7] content_model: ContentModel sampling ...\n";
+  std::cout << "[5/8] content_model: ContentModel sampling ...\n";
   const ContentModelNumbers content = bench_content_model(smoke);
   std::cout << "      " << content.samples << " samples, " << content.publish_ns
             << " ns/publish-chain, " << content.fetch_ns << " ns/fetch-chain\n";
 
-  std::cout << "[6/7] campaign: sequential vs parallel sweep ...\n";
+  std::cout << "[6/8] campaign: sequential vs parallel sweep ...\n";
   const CampaignNumbers campaign = bench_campaign(smoke);
   std::cout << "      " << campaign.trials << " trials @ scale "
             << campaign.scale << ": sequential " << campaign.sequential_ms
@@ -643,12 +744,19 @@ int main(int argc, char** argv) {
             << campaign.workers << " workers, "
             << campaign.sequential_ms / campaign.parallel_ms << "x)\n";
 
-  std::cout << "[7/7] sharded_campaign: unsharded vs sharded engine ...\n";
+  std::cout << "[7/8] sharded_campaign: unsharded vs sharded engine ...\n";
   const ShardedCampaignNumbers sharded = bench_sharded_campaign(smoke);
   std::cout << "      scale " << sharded.scale << ": sequential "
             << sharded.sequential_ms << " ms, sharded " << sharded.sharded_ms
             << " ms (" << sharded.shards << " shards, " << sharded.workers
             << " workers, exports byte-identical)\n";
+
+  std::cout << "[8/8] phase_program: rates_at lookups + campaign overhead ...\n";
+  const PhaseProgramNumbers phases = bench_phase_program(smoke);
+  std::cout << "      " << phases.samples << " lookups, " << phases.rates_ns
+            << " ns/rates_at; campaign plain " << phases.plain_ms
+            << " ms vs phased " << phases.phased_ms << " ms ("
+            << phases.phased_ms / phases.plain_ms << "x)\n";
 
   std::ofstream out(out_path);
   if (!out) {
@@ -737,6 +845,14 @@ int main(int argc, char** argv) {
                "figure would only measure fork-join overhead and is "
                "omitted");
   }
+  json.end_object();
+  json.key("phase_program");
+  json.begin_object();
+  json.field("samples", static_cast<std::uint64_t>(phases.samples));
+  json.field("rates_ns_per_lookup", phases.rates_ns);
+  json.field("plain_campaign_ms", phases.plain_ms);
+  json.field("phased_campaign_ms", phases.phased_ms);
+  json.field("overhead", phases.phased_ms / phases.plain_ms);
   json.end_object();
   json.end_object();
   out << "\n";

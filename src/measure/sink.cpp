@@ -272,13 +272,35 @@ void JsonExportSink::on_dataset(DatasetRole role, Dataset dataset) {
 }
 
 void JsonExportSink::on_run_end(const RunSummary& summary) {
-  (void)summary;
   // Non-churned, non-content runs opened no spool and export nothing extra
   // here, so legacy exports stay byte-identical.
   splice(population_);
   splice(provides_);
   splice(fetches_);
   splice(content_);
+  // Phased runs append one `phase_breakdown` document: the per-phase
+  // activity totals.  Empty unless a phase program ran, so non-phased
+  // exports stay byte-identical.
+  if (summary.phases.empty()) return;
+  common::JsonWriter writer(out_, options_.pretty);
+  writer.begin_object();
+  writer.key("phase_breakdown");
+  writer.begin_array();
+  for (const PhaseSummary& phase : summary.phases) {
+    writer.begin_object();
+    writer.field("name", std::string_view(phase.name));
+    writer.field("mode", std::string_view(phase.mode));
+    writer.field("start_ms", static_cast<std::int64_t>(phase.start));
+    writer.field("hold_ms", static_cast<std::int64_t>(phase.hold));
+    writer.field("sessions", phase.sessions);
+    writer.field("provides", phase.provides);
+    writer.field("fetches", phase.fetches);
+    writer.field("crawls", phase.crawls);
+    writer.end_object();
+  }
+  writer.end_array();
+  writer.end_object();
+  out_ << "\n";
 }
 
 }  // namespace ipfs::measure

@@ -86,10 +86,25 @@ struct ContentSample {
   std::size_t true_records = 0;     ///< provider slots of peers truly online
 };
 
+/// Per-phase activity totals of a phased campaign (scenario::PhaseProgram,
+/// DESIGN.md §14): what actually happened inside each phase window.
+struct PhaseSummary {
+  std::string name;  ///< phase label ("" = unnamed)
+  std::string mode;  ///< "hold" / "ramp" / "burst" / "flash_crowd"
+  SimTime start = 0;
+  SimDuration hold = 0;
+  std::uint64_t sessions = 0;  ///< sessions started inside the window
+  std::uint64_t provides = 0;  ///< provider publishes that landed
+  std::uint64_t fetches = 0;   ///< fetch attempts emitted
+  std::uint64_t crawls = 0;    ///< crawler snapshots taken
+};
+
 /// End-of-run bookkeeping, published after the last dataset.
 struct RunSummary {
   std::size_t population_size = 0;
   std::size_t events_executed = 0;
+  /// Per-phase totals; empty unless a phase program ran.
+  std::vector<PhaseSummary> phases;
 };
 
 /// Receives measurement output.  Hooks default to no-ops so sinks override

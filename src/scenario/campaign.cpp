@@ -182,6 +182,20 @@ struct CampaignEngine::Impl {
                  static_cast<double>(content->spec().keys) *
                  config.population.scale)));
     }
+    if (config.phases) {
+      // Compiled once up front; `rates_at` is a pure const lookup, so the
+      // program can be consulted from sharded pure phases without
+      // synchronisation and never shifts any RNG-tree branch.
+      phases.emplace(*config.phases);
+      phase_counters.resize(phases->size());
+      for (std::size_t i = 0; i < phases->size(); ++i) {
+        const PhaseSpec& phase = phases->spec().program[i];
+        phase_counters[i].name = phase.name;
+        phase_counters[i].mode = std::string(to_string(phase.mode));
+        phase_counters[i].start = phases->phase_start(i);
+        phase_counters[i].hold = phase.hold;
+      }
+    }
     if (config.sharding) {
       const unsigned shards = std::max(config.sharding->shards, 1u);
       unsigned workers = config.sharding->workers;
@@ -239,6 +253,7 @@ struct CampaignEngine::Impl {
     std::vector<SimTime> last_online;          ///< for stale routing entries
     std::vector<std::uint32_t> session_index;  ///< sessions started (churn mode)
     std::vector<std::uint32_t> fetch_index;    ///< fetches drawn (content mode)
+    std::vector<std::uint32_t> publish_slots;  ///< provider slots this session
 
     void assign(std::size_t count) {
       online.assign(count, 0);
@@ -246,6 +261,7 @@ struct CampaignEngine::Impl {
       last_online.assign(count, -common::kDay);
       session_index.assign(count, 0);
       fetch_index.assign(count, 0);
+      publish_slots.assign(count, 0);
     }
   };
 
@@ -356,6 +372,42 @@ struct CampaignEngine::Impl {
     return maintained_flags[peer * vantages.size() + v];
   }
 
+  // ---- time-varying phase program (DESIGN.md §14) --------------------------
+  //
+  // Every modulation below is a pure reshaping of an already-pure draw:
+  // the base sample stays a function of (node, index, seed), and the
+  // multiplier is a function of the deterministic query time only, so
+  // phased runs inherit the engine's worker/shard byte-invariance
+  // unchanged.  An absent `config.phases` short-circuits every helper to
+  // the legacy value — bit-for-bit (hash-pinned by the golden tests).
+
+  /// `interval / rate`, with the legacy integer untouched at rate 1 so an
+  /// all-neutral phase cannot perturb a draw through rounding.
+  [[nodiscard]] static SimDuration modulate(SimDuration interval, double rate) {
+    if (rate == 1.0) return interval;
+    return static_cast<SimDuration>(static_cast<double>(interval) / rate);
+  }
+
+  /// The churned offline gap beginning at `gap_start`, divided by the
+  /// phase program's churn rate there and floor-clamped exactly like the
+  /// legacy draw.  One definition serves both the slab chain walk and the
+  /// sequential callback, so the two paths modulate identically by
+  /// construction (the gap's phase input is the chain's own deterministic
+  /// gap-start time, never the wall clock of the precompute).
+  [[nodiscard]] SimDuration churned_gap(std::uint32_t index, std::uint32_t session,
+                                        SimTime gap_start, Category category) {
+    SimDuration gap = churn->gap_length(index, session, gap_start, category);
+    if (phases) gap = modulate(gap, phases->rates_at(gap_start).churn);
+    return std::max<SimDuration>(gap, kMinute);
+  }
+
+  /// The per-phase tally bucket covering the clock, nullptr when no
+  /// program runs (so every bump site is a no-op on legacy runs).
+  [[nodiscard]] measure::PhaseSummary* current_phase() {
+    if (!phases) return nullptr;
+    return &phase_counters[phases->phase_index_at(simulation.now())];
+  }
+
   // ---- intra-trial sharding (DESIGN.md §13) --------------------------------
   //
   // The event loop itself never forks: what fans out across the shard
@@ -435,10 +487,8 @@ struct CampaignEngine::Impl {
               common::mix64(common::mix64(config.seed, 0x0ff5e7), index) %
               static_cast<std::uint64_t>(10 * kMinute));
         } else {
-          churn_chains.next_at[i] = std::max<SimDuration>(
-              churn->gap_length(index, 0, 0,
-                                population.peers()[i].category),
-              kMinute);
+          churn_chains.next_at[i] =
+              churned_gap(index, 0, 0, population.peers()[i].category);
         }
       }
     });
@@ -478,9 +528,7 @@ struct CampaignEngine::Impl {
       tr.redraw = peer.has_alt_ip && churn->redraw_address(index, session);
       tr.length = std::max<SimDuration>(
           churn->session_length(index, session, peer.category), 30 * kSecond);
-      tr.gap = std::max<SimDuration>(
-          churn->gap_length(index, session + 1, at + tr.length, peer.category),
-          kMinute);
+      tr.gap = churned_gap(index, session + 1, at + tr.length, peer.category);
       buffer.push_back(tr);
       at += tr.length + tr.gap;
       ++session;
@@ -528,8 +576,11 @@ struct CampaignEngine::Impl {
                  std::size_t records = 0;
                  for (std::size_t i = first; i < last; ++i) {
                    if (peer_states.online[i] == 0) continue;
-                   const RemotePeer& peer = population.peers()[i];
-                   records += content->publish_count(peer.index, peer.category);
+                   // The slot count materialised at session start (equal to
+                   // `content->publish_count` on legacy runs; phase-scaled
+                   // on phased ones) — ground truth must count what the
+                   // session actually published.
+                   records += peer_states.publish_slots[i];
                  }
                  partials[shard].true_records = records;
                });
@@ -635,9 +686,7 @@ struct CampaignEngine::Impl {
             static_cast<std::uint64_t>(10 * kMinute));
         schedule_churn_session(index, offset);
       } else {
-        const auto gap = std::max<SimDuration>(
-            churn->gap_length(index, 0, 0, peer.category), kMinute);
-        schedule_churn_session(index, gap);
+        schedule_churn_session(index, churned_gap(index, 0, 0, peer.category));
       }
     }
   }
@@ -657,12 +706,10 @@ struct CampaignEngine::Impl {
         tr.redraw = peer.has_alt_ip && churn->redraw_address(index, session);
         tr.length = std::max<SimDuration>(
             churn->session_length(index, session, peer.category), 30 * kSecond);
-        // The following offline gap, with diurnal modulation evaluated
-        // where the gap begins.
-        tr.gap = std::max<SimDuration>(
-            churn->gap_length(index, session + 1, simulation.now() + tr.length,
-                              peer.category),
-            kMinute);
+        // The following offline gap, with diurnal and phase modulation
+        // evaluated where the gap begins.
+        tr.gap = churned_gap(index, session + 1, simulation.now() + tr.length,
+                             peer.category);
       }
       // Rejoining peers keep their PeerId but may come back from their
       // other IP — the §V-A dual-homing rules applied per session (the
@@ -670,7 +717,26 @@ struct CampaignEngine::Impl {
       if (tr.redraw) {
         std::swap(peer.ip, peer.alt_ip);
       }
-      start_session(index, simulation.now() + tr.length);
+      // A phase program's `population` target admits only a fraction of
+      // the churned population: a pure per-(peer, session) hash decides
+      // whether this session actually starts.  The chain itself — draws,
+      // redraw swap, next-cycle schedule — advances unconditionally, so
+      // admitting a peer later never replays or shifts a draw (and the
+      // sharded precompute needs no admission knowledge at all).
+      bool admitted = true;
+      if (phases) {
+        const double fraction = phases->rates_at(simulation.now()).population;
+        if (fraction < 1.0) {
+          const std::uint64_t h = common::mix64(
+              common::mix64(config.seed, 0x909a7e),
+              (static_cast<std::uint64_t>(index) << 32) |
+                  static_cast<std::uint64_t>(session));
+          admitted = static_cast<double>(h) <
+                     fraction * static_cast<double>(
+                                    std::numeric_limits<std::uint64_t>::max());
+        }
+      }
+      if (admitted) start_session(index, simulation.now() + tr.length);
       // The next cycle: this session plus the following offline gap.
       schedule_churn_session(index, tr.length + tr.gap);
     });
@@ -734,7 +800,31 @@ struct CampaignEngine::Impl {
   /// Session hook: schedule this session's provides and its fetch chain.
   void start_content_session(std::uint32_t index) {
     const RemotePeer& peer = population.peers()[index];
-    const std::uint32_t count = content->publish_count(index, peer.category);
+    std::uint32_t count = content->publish_count(index, peer.category);
+    if (phases) {
+      // The publish rate scales this session's slot count: integer floor
+      // plus a pure per-(peer, session-start) coin for the fraction, so
+      // the expectation matches the multiplier exactly and the draw stays
+      // shard/worker invariant.  Rate 1 leaves `count` untouched.
+      const double rate = phases->rates_at(simulation.now()).publish;
+      if (rate != 1.0) {
+        const double scaled = static_cast<double>(count) * rate;
+        count = static_cast<std::uint32_t>(scaled);
+        const double fraction = scaled - static_cast<double>(count);
+        if (fraction > 0.0) {
+          const std::uint64_t h = common::mix64(
+              common::mix64(config.seed, 0x9ab115),
+              (static_cast<std::uint64_t>(index) << 20) ^
+                  static_cast<std::uint64_t>(simulation.now()));
+          if (static_cast<double>(h) <
+              fraction * static_cast<double>(
+                             std::numeric_limits<std::uint64_t>::max())) {
+            ++count;
+          }
+        }
+      }
+    }
+    peer_states.publish_slots[index] = count;
     const SimTime session_end = peer_states.session_end[index];
     for (std::uint32_t slot = 0; slot < count; ++slot) {
       const SimTime at =
@@ -771,6 +861,7 @@ struct CampaignEngine::Impl {
     }
     if (landed && content_sink != nullptr) {
       content_sink->on_provide({simulation.now(), key, index, cycle > 0});
+      if (auto* phase = current_phase()) ++phase->provides;
     }
     const SimTime next = simulation.now() + content->spec().republish_interval +
                          content->republish_jitter(index, slot, cycle + 1);
@@ -784,8 +875,13 @@ struct CampaignEngine::Impl {
     const RemotePeer& peer = population.peers()[index];
     if (content->fetch_rate(peer.category) <= 0.0) return;
     const std::uint32_t fetch = peer_states.fetch_index[index];
-    const auto gap = std::max<SimDuration>(
-        content->fetch_gap(index, fetch, peer.category), kSecond);
+    SimDuration gap = content->fetch_gap(index, fetch, peer.category);
+    if (phases) {
+      // The fetch rate (a flash crowd's spike folded in) divides the gap
+      // where the wait begins — a pure function of the event time.
+      gap = modulate(gap, phases->rates_at(simulation.now()).fetch);
+    }
+    gap = std::max<SimDuration>(gap, kSecond);
     const SimTime at = simulation.now() + gap;
     if (at >= peer_states.session_end[index] || at >= config.period.duration) {
       return;
@@ -804,7 +900,24 @@ struct CampaignEngine::Impl {
   void do_fetch(std::uint32_t index, std::uint32_t fetch) {
     if (simulation.now() >= config.period.duration) return;
     const RemotePeer& peer = population.peers()[index];
-    const std::uint32_t key = content->fetch_key(index, fetch, content_keyspace);
+    std::uint32_t key = content->fetch_key(index, fetch, content_keyspace);
+    if (phases) {
+      // An active flash crowd redirects a `hot_fraction` slice of fetches
+      // onto the hot key — a pure per-(peer, fetch) hash, so the same
+      // fetches converge at any worker or shard count.
+      const PhaseRates rates = phases->rates_at(simulation.now());
+      if (rates.flash && rates.hot_fraction > 0.0) {
+        const std::uint64_t h = common::mix64(
+            common::mix64(config.seed, 0xf1a54),
+            (static_cast<std::uint64_t>(index) << 32) |
+                static_cast<std::uint64_t>(fetch));
+        if (static_cast<double>(h) <
+            rates.hot_fraction * static_cast<double>(
+                                     std::numeric_limits<std::uint64_t>::max())) {
+          key = rates.hot_key % std::max<std::uint32_t>(content_keyspace, 1);
+        }
+      }
+    }
     const bitswap::Cid cid = content->key_cid(key);
 
     measure::FetchSample sample;
@@ -876,6 +989,7 @@ struct CampaignEngine::Impl {
 
   void emit_fetch(const measure::FetchSample& sample) {
     if (content_sink != nullptr) content_sink->on_fetch(sample);
+    if (auto* phase = current_phase()) ++phase->fetches;
   }
 
   [[nodiscard]] BitswapHost& fetcher_host(std::uint32_t index) {
@@ -954,6 +1068,7 @@ struct CampaignEngine::Impl {
     if (peer_states.online[index] != 0) return;
     peer_states.online[index] = 1;
     peer_states.session_end[index] = session_end;
+    if (auto* phase = current_phase()) ++phase->sessions;
     const RemotePeer& peer = population.peers()[index];
     const CategoryParams& params = config.population.params(peer.category);
     common::Rng prng = peer_rng(index);
@@ -1341,75 +1456,101 @@ struct CampaignEngine::Impl {
     });
   }
 
+  /// One crawl: the body the periodic task fires, extracted so the phased
+  /// cadence below can invoke the identical sweep on a varying schedule.
+  void run_crawl(measure::MeasurementSink& sink) {
+    common::Rng prng = rng.child(common::mix64(0xc4a1, simulation.now()));
+    CrawlSnapshot snapshot;
+    snapshot.at = simulation.now();
+    if (auto* phase = current_phase()) ++phase->crawls;
+    if (shard_pool) {
+      // Two-phase sharded sweep: parallel classification, then a
+      // sequential draw/tally walk in peer order whose bernoulli
+      // call sites mirror the unsharded loop below one-for-one.
+      classify_crawl_targets();
+      for (const RemotePeer& peer : population.peers()) {
+        switch (static_cast<CrawlClass>(crawl_classes[peer.index])) {
+          case CrawlClass::kSkip:
+            break;
+          case CrawlClass::kOnline: {
+            const CategoryParams& params =
+                config.population.params(peer.category);
+            if (prng.bernoulli(params.crawl_visibility)) {
+              if (crawl_reachable[peer.index] != 0) {
+                ++snapshot.reached_servers;
+              }
+              ++snapshot.learned_pids;
+            }
+            break;
+          }
+          case CrawlClass::kStale:
+            if (prng.bernoulli(0.5)) ++snapshot.learned_pids;
+            break;
+        }
+      }
+      sink.on_crawl(snapshot);
+      return;
+    }
+    const std::string kad_protocol(proto::kKad);
+    for (const RemotePeer& peer : population.peers()) {
+      if (!peer.dht_server) continue;
+      const bool announces_kad =
+          std::find(peer.protocols.begin(), peer.protocols.end(), kad_protocol) !=
+          peer.protocols.end();
+      if (!announces_kad) continue;
+      const CategoryParams& params = config.population.params(peer.category);
+      if (peer_states.online[peer.index] != 0) {
+        if (prng.bernoulli(params.crawl_visibility)) {
+          // Conditions narrow the crawler's *reach*, never what it
+          // has learned: outage and partitioned zones are cut off
+          // from the crawler (it sits in "the rest" of the network)
+          // and NAT classes refuse its dials, but routing tables
+          // keep mentioning those PIDs either way.
+          const bool reachable =
+              conditions == std::nullopt ||
+              (conditions->accepts_inbound(peer.pid,
+                                           to_string(peer.category)) &&
+               !conditions->zone_down(peer.pid, simulation.now()) &&
+               !conditions->zone_partitioned(peer.pid, simulation.now()));
+          if (reachable) ++snapshot.reached_servers;
+          ++snapshot.learned_pids;
+        }
+      } else if (simulation.now() - peer_states.last_online[peer.index] <
+                 24 * kHour) {
+        // Stale routing-table entries: learned but not reachable.
+        if (prng.bernoulli(0.5)) ++snapshot.learned_pids;
+      }
+    }
+    sink.on_crawl(snapshot);
+  }
+
   void schedule_crawler(measure::MeasurementSink& sink) {
     if (!config.enable_crawler) return;
+    if (phases && phases->spec().modulates_crawl()) {
+      // Phased cadence: the crawl interval divided by the program's crawl
+      // rate where the wait begins, self-chained so the pace follows the
+      // phase windows.  A program that never touches crawl_rate keeps the
+      // legacy periodic task (identical event schedule).
+      schedule_phased_crawl(sink, config.crawl_interval / 2);
+      return;
+    }
     crawler_task = simulation.schedule_every(
-        config.crawl_interval,
-        [this, &sink] {
-          common::Rng prng = rng.child(common::mix64(0xc4a1, simulation.now()));
-          CrawlSnapshot snapshot;
-          snapshot.at = simulation.now();
-          if (shard_pool) {
-            // Two-phase sharded sweep: parallel classification, then a
-            // sequential draw/tally walk in peer order whose bernoulli
-            // call sites mirror the unsharded loop below one-for-one.
-            classify_crawl_targets();
-            for (const RemotePeer& peer : population.peers()) {
-              switch (static_cast<CrawlClass>(crawl_classes[peer.index])) {
-                case CrawlClass::kSkip:
-                  break;
-                case CrawlClass::kOnline: {
-                  const CategoryParams& params =
-                      config.population.params(peer.category);
-                  if (prng.bernoulli(params.crawl_visibility)) {
-                    if (crawl_reachable[peer.index] != 0) {
-                      ++snapshot.reached_servers;
-                    }
-                    ++snapshot.learned_pids;
-                  }
-                  break;
-                }
-                case CrawlClass::kStale:
-                  if (prng.bernoulli(0.5)) ++snapshot.learned_pids;
-                  break;
-              }
-            }
-            sink.on_crawl(snapshot);
-            return;
-          }
-          const std::string kad_protocol(proto::kKad);
-          for (const RemotePeer& peer : population.peers()) {
-            if (!peer.dht_server) continue;
-            const bool announces_kad =
-                std::find(peer.protocols.begin(), peer.protocols.end(), kad_protocol) !=
-                peer.protocols.end();
-            if (!announces_kad) continue;
-            const CategoryParams& params = config.population.params(peer.category);
-            if (peer_states.online[peer.index] != 0) {
-              if (prng.bernoulli(params.crawl_visibility)) {
-                // Conditions narrow the crawler's *reach*, never what it
-                // has learned: outage and partitioned zones are cut off
-                // from the crawler (it sits in "the rest" of the network)
-                // and NAT classes refuse its dials, but routing tables
-                // keep mentioning those PIDs either way.
-                const bool reachable =
-                    conditions == std::nullopt ||
-                    (conditions->accepts_inbound(peer.pid,
-                                                 to_string(peer.category)) &&
-                     !conditions->zone_down(peer.pid, simulation.now()) &&
-                     !conditions->zone_partitioned(peer.pid, simulation.now()));
-                if (reachable) ++snapshot.reached_servers;
-                ++snapshot.learned_pids;
-              }
-            } else if (simulation.now() - peer_states.last_online[peer.index] <
-                       24 * kHour) {
-              // Stale routing-table entries: learned but not reachable.
-              if (prng.bernoulli(0.5)) ++snapshot.learned_pids;
-            }
-          }
-          sink.on_crawl(snapshot);
-        },
+        config.crawl_interval, [this, &sink] { run_crawl(sink); },
         config.crawl_interval / 2);
+  }
+
+  void schedule_phased_crawl(measure::MeasurementSink& sink, SimDuration delay) {
+    // Each hop replaces `crawler_task`, so run() can always cancel the
+    // pending crawl exactly like it cancels the periodic task.
+    crawler_task = simulation.schedule_after(delay, [this, &sink] {
+      if (simulation.now() >= config.period.duration) return;
+      run_crawl(sink);
+      const auto next = std::max<SimDuration>(
+          modulate(config.crawl_interval,
+                   phases->rates_at(simulation.now()).crawl),
+          kMinute);
+      schedule_phased_crawl(sink, next);
+    });
   }
 
   // ---- §IV-B metadata dynamics ---------------------------------------------
@@ -1637,7 +1778,11 @@ struct CampaignEngine::Impl {
       }
       sink.on_dataset(measure::DatasetRole::kHydraUnion, std::move(merged));
     }
-    sink.on_run_end({population.peers().size(), simulation.executed_events()});
+    measure::RunSummary summary;
+    summary.population_size = population.peers().size();
+    summary.events_executed = simulation.executed_events();
+    if (phases) summary.phases = phase_counters;
+    sink.on_run_end(summary);
   }
 
   // ---- members -------------------------------------------------------------
@@ -1649,6 +1794,9 @@ struct CampaignEngine::Impl {
   std::optional<net::ConditionModel> conditions;
   std::optional<ChurnModel> churn;
   std::optional<ContentModel> content;
+  // Phase program (DESIGN.md §14); empty unless `config.phases` is engaged.
+  std::optional<PhaseProgram> phases;
+  std::vector<measure::PhaseSummary> phase_counters;  ///< per-phase tallies
   std::uint32_t content_keyspace = 0;
   // Hosts must outlive the content network (net::Host lifetime contract),
   // so the network is declared *after* every host container below.
@@ -1708,6 +1856,39 @@ std::optional<std::string> CampaignEngine::validate(const CampaignConfig& config
   }
   if (config.content) {
     if (auto error = ContentSpec::validate(*config.content)) return error;
+  }
+  if (config.phases) {
+    if (auto error = PhaseProgramSpec::validate(*config.phases)) return error;
+    const PhaseProgramSpec& phases = *config.phases;
+    if (phases.total_duration() > config.period.duration) {
+      return "phases.program: total hold exceeds period.duration_ms — "
+             "trailing phases would never run";
+    }
+    if (phases.modulates_churn() && !config.churn) {
+      return "phases: the program modulates churn rates or population but "
+             "no churn section is engaged";
+    }
+    if (phases.modulates_content() && !config.content) {
+      return "phases: the program modulates the content workload but no "
+             "content section is engaged";
+    }
+    if (phases.modulates_crawl() && !config.enable_crawler) {
+      return "phases: the program modulates crawl_rate but the crawler is "
+             "disabled";
+    }
+    // Composing a churn-modulating program with diurnal churn is ambiguous
+    // unless the scenario pins both modulations to the absolute simulation
+    // clock (the only composition the engine defines; see
+    // ChurnModel::rate_multiplier and docs/SCENARIOS.md).
+    const bool diurnal = config.churn && config.churn->diurnal.has_value();
+    if (phases.modulates_churn() && diurnal && !phases.diurnal_clock_absolute) {
+      return "phases: a churn-modulating program combined with "
+             "churn.diurnal requires \"diurnal_clock\": \"absolute\"";
+    }
+    if (phases.diurnal_clock_absolute && !diurnal) {
+      return "phases.diurnal_clock: \"absolute\" requires a churn.diurnal "
+             "section to acknowledge";
+    }
   }
   if (config.sharding) {
     if (config.sharding->shards == 0) return "sharding.shards must be >= 1";

@@ -32,6 +32,7 @@
 #include "scenario/churn.hpp"
 #include "scenario/content.hpp"
 #include "scenario/period.hpp"
+#include "scenario/phases.hpp"
 #include "scenario/population.hpp"
 #include "sim/simulation.hpp"
 
@@ -117,6 +118,16 @@ struct CampaignConfig {
   /// identical to the pre-content code path (hash-pinned by
   /// tests/integration/golden_determinism_test.cpp).
   std::optional<ContentSpec> content;
+
+  /// Optional time-varying workload program (scenario/phases.hpp,
+  /// DESIGN.md §14): piecewise rate multipliers — ramps, bursts, flash
+  /// crowds — folded into the engine's per-draw sampling sites.  Every
+  /// modulated draw stays a pure function of (node, index, phase, seed),
+  /// so sweeps and sharded runs remain byte-identical at any worker or
+  /// shard count.  nullopt leaves every rate constant: behaviour is
+  /// bit-for-bit identical to the pre-phases code path (hash-pinned by
+  /// tests/integration/golden_determinism_test.cpp).
+  std::optional<PhaseProgramSpec> phases;
 
   /// Optional intra-trial sharding (DESIGN.md §13).  nullopt runs the
   /// classic sequential engine; engaged, the export stays byte-identical

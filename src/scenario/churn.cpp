@@ -214,6 +214,13 @@ bool ChurnModel::redraw_address(std::uint32_t node,
              static_cast<double>(std::numeric_limits<std::uint64_t>::max());
 }
 
+// Clock contract (DESIGN.md §14): `at` is the ABSOLUTE simulation time —
+// `phase_ms` offsets the wave from t = 0 and is never rebased by a
+// `"phases"` program.  When a churn-modulating phase program runs next to
+// a diurnal spec, both multipliers read this same absolute clock and the
+// engine multiplies them (gap / (diurnal * phase_churn)); the scenario
+// must carry `"diurnal_clock": "absolute"` to acknowledge that — every
+// other composition is rejected by `CampaignEngine::validate`.
 double ChurnModel::rate_multiplier(common::SimTime at) const noexcept {
   if (!spec_.diurnal) return 1.0;
   const DiurnalSpec& diurnal = *spec_.diurnal;

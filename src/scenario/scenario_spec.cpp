@@ -768,6 +768,112 @@ ParseError parse_content(const JsonValue& value, const std::string& path,
   return std::nullopt;
 }
 
+// ---- the "phases" section (scenario::PhaseProgramSpec) ----------------------
+
+ParseError parse_phase(const JsonValue& value, const std::string& path,
+                       PhaseSpec& phase) {
+  if (auto error = expect_object(value, path)) return error;
+  const JsonValue* mode = value.find("mode");
+  if (mode == nullptr) return path + ": mode is required";
+  if (!mode->is_string()) return join(path, "mode") + ": expected a string";
+  const auto parsed_mode = phase_mode_from_string(mode->as_string());
+  if (!parsed_mode) {
+    return join(path, "mode") +
+           ": expected \"hold\", \"ramp\", \"burst\" or \"flash_crowd\"";
+  }
+  phase.mode = *parsed_mode;
+  // Mode-specific key sets, like the network disturbance kinds: a burst
+  // field on a hold phase is a schema error, not dead configuration.
+  switch (phase.mode) {
+    case PhaseMode::kBurst:
+      if (auto error = check_keys(value, path,
+                                  {"name", "mode", "hold_ms", "churn_rate",
+                                   "fetch_rate", "publish_rate", "crawl_rate",
+                                   "population", "switch_ms"})) {
+        return error;
+      }
+      break;
+    case PhaseMode::kFlashCrowd:
+      if (auto error = check_keys(value, path,
+                                  {"name", "mode", "hold_ms", "churn_rate",
+                                   "fetch_rate", "publish_rate", "crawl_rate",
+                                   "population", "hot_key", "spike",
+                                   "hot_fraction"})) {
+        return error;
+      }
+      break;
+    case PhaseMode::kHold:
+    case PhaseMode::kRamp:
+      if (auto error = check_keys(value, path,
+                                  {"name", "mode", "hold_ms", "churn_rate",
+                                   "fetch_rate", "publish_rate", "crawl_rate",
+                                   "population"})) {
+        return error;
+      }
+      break;
+  }
+  if (auto e = get_string(value, "name", path, phase.name)) return e;
+  if (auto e = get_duration_ms(value, "hold_ms", path, phase.hold)) return e;
+  if (phase.hold <= 0) return path + ": hold_ms must be > 0";
+  if (auto e = get_double(value, "churn_rate", path, phase.churn_rate)) return e;
+  if (auto e = get_double(value, "fetch_rate", path, phase.fetch_rate)) return e;
+  if (auto e = get_double(value, "publish_rate", path, phase.publish_rate)) {
+    return e;
+  }
+  if (auto e = get_double(value, "crawl_rate", path, phase.crawl_rate)) return e;
+  if (auto e = get_double(value, "population", path, phase.population)) return e;
+  if (phase.mode == PhaseMode::kBurst) {
+    if (auto e = get_duration_ms(value, "switch_ms", path,
+                                 phase.switch_interval)) {
+      return e;
+    }
+    if (phase.switch_interval <= 0) return path + ": switch_ms must be > 0";
+  }
+  if (phase.mode == PhaseMode::kFlashCrowd) {
+    if (auto e = get_u32(value, "hot_key", path, phase.hot_key)) return e;
+    if (auto e = get_double(value, "spike", path, phase.spike)) return e;
+    if (auto e = get_double(value, "hot_fraction", path, phase.hot_fraction)) {
+      return e;
+    }
+  }
+  return std::nullopt;
+}
+
+ParseError parse_phases(const JsonValue& value, const std::string& path,
+                        PhaseProgramSpec& phases) {
+  if (auto error = expect_object(value, path)) return error;
+  if (auto error = check_keys(value, path, {"diurnal_clock", "program"})) {
+    return error;
+  }
+  if (const JsonValue* clock = value.find("diurnal_clock")) {
+    if (!clock->is_string() || clock->as_string() != "absolute") {
+      return join(path, "diurnal_clock") + ": expected \"absolute\"";
+    }
+    phases.diurnal_clock_absolute = true;
+  }
+  const JsonValue* program = value.find("program");
+  if (program == nullptr) {
+    return join(path, "program") + ": required";
+  }
+  if (!program->is_array()) {
+    return join(path, "program") + ": expected an array";
+  }
+  for (std::size_t i = 0; i < program->as_array().size(); ++i) {
+    PhaseSpec phase;
+    if (auto error = parse_phase(program->as_array()[i],
+                                 join(path, "program") + "[" +
+                                     std::to_string(i) + "]",
+                                 phase)) {
+      return error;
+    }
+    phases.program.push_back(std::move(phase));
+  }
+  // Value-range rules (positivity, population in (0, 1], flash bounds):
+  // one source of truth for files and programmatic specs alike.
+  if (auto error = PhaseProgramSpec::validate(phases)) return error;
+  return std::nullopt;
+}
+
 ParseError parse_campaign(const JsonValue& value, const std::string& path,
                           CampaignSettings& campaign) {
   if (auto error = expect_object(value, path)) return error;
@@ -1254,6 +1360,115 @@ ScenarioSpec builtin_flash_fetch() {
   return spec;
 }
 
+/// Flash crowd over time: a calm content baseline, then six hours of an
+/// 8x fetch spike converging on one hot key, then a cooldown — the
+/// `"phases"` showcase (DESIGN.md §14).
+ScenarioSpec builtin_flash_crowd() {
+  ScenarioSpec spec = make_builtin(
+      "flash-crowd",
+      "Phased flash crowd: 6 h of the content baseline, then 6 h with "
+      "fetch traffic spiked 8x and 90% of fetches converging on one hot "
+      "key, then a 12 h cooldown — record caches and provider TTLs under "
+      "a moving load",
+      period_conditions("FLASH-CROWD"));
+  ContentSpec content;
+  content.keys = 256;
+  content.publishes_per_peer = 2.0;
+  content.fetches_per_hour = 2.0;
+  content.sample_interval = 30 * kMinute;
+  spec.content = std::move(content);
+  PhaseProgramSpec phases;
+  PhaseSpec calm;
+  calm.name = "calm";
+  calm.mode = PhaseMode::kHold;
+  calm.hold = 6 * kHour;
+  PhaseSpec flash;
+  flash.name = "flash";
+  flash.mode = PhaseMode::kFlashCrowd;
+  flash.hold = 6 * kHour;
+  flash.hot_key = 3;
+  flash.spike = 8.0;
+  flash.hot_fraction = 0.9;
+  PhaseSpec cooldown;
+  cooldown.name = "cooldown";
+  cooldown.mode = PhaseMode::kHold;
+  cooldown.hold = 12 * kHour;
+  phases.program = {calm, flash, cooldown};
+  spec.phases = std::move(phases);
+  return spec;
+}
+
+/// Load ramp: the population and its fetch appetite climb linearly to a
+/// plateau and ease back down — phase-boundary continuity on display.
+ScenarioSpec builtin_load_ramp() {
+  ScenarioSpec spec = make_builtin(
+      "load-ramp",
+      "Phased load ramp: 2 h at 60% population, a 10 h linear climb to "
+      "full population with fetch traffic tripling, an 8 h plateau, and "
+      "a 4 h ramp back down — churned admission and content rates moving "
+      "together",
+      period_conditions("LOAD-RAMP"));
+  spec.churn = ChurnSpec{};     // the session-churn defaults
+  spec.content = ContentSpec{};  // the go-ipfs content defaults
+  PhaseProgramSpec phases;
+  PhaseSpec quiet;
+  quiet.name = "quiet";
+  quiet.mode = PhaseMode::kHold;
+  quiet.hold = 2 * kHour;
+  quiet.population = 0.6;
+  PhaseSpec climb;
+  climb.name = "climb";
+  climb.mode = PhaseMode::kRamp;
+  climb.hold = 10 * kHour;
+  climb.fetch_rate = 3.0;
+  PhaseSpec plateau;
+  plateau.name = "plateau";
+  plateau.mode = PhaseMode::kHold;
+  plateau.hold = 8 * kHour;
+  plateau.fetch_rate = 3.0;
+  PhaseSpec ease;
+  ease.name = "ease";
+  ease.mode = PhaseMode::kRamp;
+  ease.hold = 4 * kHour;
+  ease.population = 0.6;
+  phases.program = {quiet, climb, plateau, ease};
+  spec.phases = std::move(phases);
+  return spec;
+}
+
+/// Burst storm: a square wave of fetch load with the crawler cadence
+/// doubled during the storm — burst edges land on 2 h boundaries.
+ScenarioSpec builtin_burst_storm() {
+  ScenarioSpec spec = make_builtin(
+      "burst-storm",
+      "Phased burst storm: 4 h calm, then a 12 h square wave toggling "
+      "fetch traffic between 1x and 5x every 2 h with the crawler running "
+      "twice as often, then an 8 h recovery — load edges aligned to shard "
+      "slab boundaries",
+      period_conditions("BURST-STORM"));
+  spec.churn = ChurnSpec{};     // the session-churn defaults
+  spec.content = ContentSpec{};  // the go-ipfs content defaults
+  PhaseProgramSpec phases;
+  PhaseSpec calm;
+  calm.name = "calm";
+  calm.mode = PhaseMode::kHold;
+  calm.hold = 4 * kHour;
+  PhaseSpec storm;
+  storm.name = "storm";
+  storm.mode = PhaseMode::kBurst;
+  storm.hold = 12 * kHour;
+  storm.switch_interval = 2 * kHour;
+  storm.fetch_rate = 5.0;
+  storm.crawl_rate = 2.0;
+  PhaseSpec recovery;
+  recovery.name = "recovery";
+  recovery.mode = PhaseMode::kHold;
+  recovery.hold = 8 * kHour;
+  phases.program = {calm, storm, recovery};
+  spec.phases = std::move(phases);
+  return spec;
+}
+
 }  // namespace
 
 // ---- (de)serialisation ------------------------------------------------------
@@ -1268,8 +1483,8 @@ std::expected<ScenarioSpec, std::string> ScenarioSpec::from_json(
   }
   if (auto error = check_keys(root, "document",
                               {"name", "description", "period", "population",
-                               "network", "churn", "content", "campaign",
-                               "output"})) {
+                               "network", "churn", "content", "phases",
+                               "campaign", "output"})) {
     return std::unexpected(std::move(*error));
   }
 
@@ -1305,6 +1520,12 @@ std::expected<ScenarioSpec, std::string> ScenarioSpec::from_json(
   if (const JsonValue* content = root.find("content")) {
     spec.content.emplace();
     if (auto error = parse_content(*content, "content", *spec.content)) {
+      return std::unexpected(std::move(*error));
+    }
+  }
+  if (const JsonValue* phases = root.find("phases")) {
+    spec.phases.emplace();
+    if (auto error = parse_phases(*phases, "phases", *spec.phases)) {
       return std::unexpected(std::move(*error));
     }
   }
@@ -1595,6 +1816,46 @@ void ScenarioSpec::to_json(JsonWriter& writer) const {
     writer.end_object();
   }
 
+  // The "phases" section follows the same only-when-engaged rule:
+  // pre-phases scenario files must keep exporting byte-identically.
+  if (phases) {
+    writer.key("phases");
+    writer.begin_object();
+    if (phases->diurnal_clock_absolute) {
+      writer.field("diurnal_clock", "absolute");
+    }
+    writer.key("program");
+    writer.begin_array();
+    for (const PhaseSpec& phase : phases->program) {
+      writer.begin_object();
+      if (!phase.name.empty()) writer.field("name", phase.name);
+      writer.field("mode", to_string(phase.mode));
+      writer.field("hold_ms", static_cast<std::int64_t>(phase.hold));
+      writer.field("churn_rate", phase.churn_rate);
+      writer.field("fetch_rate", phase.fetch_rate);
+      writer.field("publish_rate", phase.publish_rate);
+      writer.field("crawl_rate", phase.crawl_rate);
+      writer.field("population", phase.population);
+      switch (phase.mode) {
+        case PhaseMode::kBurst:
+          writer.field("switch_ms",
+                       static_cast<std::int64_t>(phase.switch_interval));
+          break;
+        case PhaseMode::kFlashCrowd:
+          writer.field("hot_key", static_cast<std::uint64_t>(phase.hot_key));
+          writer.field("spike", phase.spike);
+          writer.field("hot_fraction", phase.hot_fraction);
+          break;
+        case PhaseMode::kHold:
+        case PhaseMode::kRamp:
+          break;
+      }
+      writer.end_object();
+    }
+    writer.end_array();
+    writer.end_object();
+  }
+
   writer.key("campaign");
   writer.begin_object();
   writer.field("seed", campaign.seed);
@@ -1670,8 +1931,41 @@ std::optional<std::string> ScenarioSpec::validate(const ScenarioSpec& spec) {
     }
   }
   // Everything the engine itself would refuse (duration, watermarks,
-  // visibility, crawl interval, dial rate, scale, network conditions).
-  return CampaignEngine::validate(spec.to_campaign_config());
+  // visibility, crawl interval, dial rate, scale, network conditions,
+  // phase programs) — checked before the horizon rules below so a
+  // structurally broken section reports its own error first.
+  if (auto error = CampaignEngine::validate(spec.to_campaign_config())) {
+    return error;
+  }
+  // Schedule-fits-horizon rules: a cadence or window that cannot fire
+  // within `period.duration` is a broken schedule, not a quiet no-op.
+  // This is what `ipfs_sim run --duration` re-validates after shortening
+  // the horizon, so truncated schedules fail loudly with the field that
+  // no longer fits.
+  if (spec.churn && spec.churn->sample_interval > spec.period.duration) {
+    return "churn.sample_interval_ms: exceeds period.duration_ms — no "
+           "population sample would ever fire";
+  }
+  if (spec.content) {
+    if (spec.content->sample_interval > spec.period.duration) {
+      return "content.sample_interval_ms: exceeds period.duration_ms — no "
+             "content sample would ever fire";
+    }
+    if (spec.content->republish_interval > spec.period.duration) {
+      return "content.republish_interval_ms: exceeds period.duration_ms — no "
+             "republish cycle would ever fire";
+    }
+  }
+  if (spec.network) {
+    for (std::size_t i = 0; i < spec.network->disturbances.size(); ++i) {
+      if (spec.network->disturbances[i].from >= spec.period.duration) {
+        return "network.disturbances[" + std::to_string(i) +
+               "].from_ms: begins at or after period.duration_ms — the "
+               "window would never open";
+      }
+    }
+  }
+  return std::nullopt;
 }
 
 // ---- execution --------------------------------------------------------------
@@ -1689,6 +1983,7 @@ CampaignConfig ScenarioSpec::to_campaign_config() const {
   config.conditions = network;
   config.churn = churn;
   config.content = content;
+  config.phases = phases;
   return config;
 }
 
@@ -1746,6 +2041,9 @@ const std::vector<ScenarioSpec>& ScenarioSpec::builtins() {
     all.push_back(builtin_diurnal_churn());
     all.push_back(builtin_content_baseline());
     all.push_back(builtin_flash_fetch());
+    all.push_back(builtin_flash_crowd());
+    all.push_back(builtin_load_ramp());
+    all.push_back(builtin_burst_storm());
     return all;
   }();
   return kBuiltins;

@@ -37,6 +37,7 @@
 #include "scenario/churn.hpp"
 #include "scenario/content.hpp"
 #include "scenario/period.hpp"
+#include "scenario/phases.hpp"
 #include "scenario/population_spec.hpp"
 
 namespace ipfs::scenario {
@@ -101,6 +102,11 @@ struct ScenarioSpec {
   /// keyspace plus Bitswap fetch traffic.  Absent, the engine runs the
   /// pre-content code path (byte-for-byte; omitted from `to_json`).
   std::optional<ContentSpec> content;
+  /// The optional `"phases"` section: a time-varying workload program
+  /// (scenario/phases.hpp) — ramps, bursts, and flash crowds over the
+  /// other sections' rates.  Absent, every rate stays constant for the
+  /// run (byte-for-byte legacy; omitted from `to_json`).
+  std::optional<PhaseProgramSpec> phases;
   CampaignSettings campaign;
   OutputSettings output;
 

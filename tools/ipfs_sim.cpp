@@ -33,15 +33,17 @@
 // count — with --shards, each trial's engine additionally fans its
 // population across shards, still without moving a byte.
 #include <algorithm>
-#include <charconv>
 #include <chrono>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/parse.hpp"
 #include "measure/sink.hpp"
 #include "runtime/parallel.hpp"
 #include "runtime/sharded.hpp"
@@ -74,22 +76,53 @@ int usage(std::ostream& out, int code) {
   return code;
 }
 
-template <typename T>
-bool parse_number(const std::string& text, T& out) {
-  const char* begin = text.data();
-  const char* end = begin + text.size();
-  auto [ptr, ec] = std::from_chars(begin, end, out);
-  return ec == std::errc() && ptr == end;
-}
+// Strict option parsing (common/parse.hpp): the whole token must parse,
+// negatives / trailing garbage / inf / overflow are rejected, and the
+// error names the option — "--shards: trailing characters after number:
+// '4x'" instead of a silently truncated value or a misleading "unknown
+// option".
 
-bool parse_double(const std::string& text, double& out) {
-  try {
-    std::size_t consumed = 0;
-    out = std::stod(text, &consumed);
-    return consumed == text.size();
-  } catch (...) {
+bool option_u32(const std::string& option, const std::string& text,
+                std::uint32_t& out) {
+  const auto parsed = ipfs::common::parse_u64(text);
+  if (!parsed) {
+    std::cerr << "ipfs_sim run: " << option << ": " << parsed.error() << "\n";
     return false;
   }
+  if (*parsed > std::numeric_limits<std::uint32_t>::max()) {
+    std::cerr << "ipfs_sim run: " << option << ": out of range: '" << text
+              << "'\n";
+    return false;
+  }
+  out = static_cast<std::uint32_t>(*parsed);
+  return true;
+}
+
+bool option_u64(const std::string& option, const std::string& text,
+                std::uint64_t& out) {
+  const auto parsed = ipfs::common::parse_u64(text);
+  if (!parsed) {
+    std::cerr << "ipfs_sim run: " << option << ": " << parsed.error() << "\n";
+    return false;
+  }
+  out = *parsed;
+  return true;
+}
+
+bool option_positive(const std::string& option, const std::string& text,
+                     double& out) {
+  const auto parsed = ipfs::common::parse_finite_double(text);
+  if (!parsed) {
+    std::cerr << "ipfs_sim run: " << option << ": " << parsed.error() << "\n";
+    return false;
+  }
+  if (*parsed <= 0.0) {
+    std::cerr << "ipfs_sim run: " << option << ": must be > 0, got '" << text
+              << "'\n";
+    return false;
+  }
+  out = *parsed;
+  return true;
 }
 
 /// A SCENARIO argument: an existing file path, else a builtin name.
@@ -114,10 +147,11 @@ int cmd_list(const std::vector<std::string>& args) {
   std::cout << "builtin scenarios:\n";
   for (const ScenarioSpec& spec : ScenarioSpec::builtins()) {
     // Flag workloads that reshape the fabric (DESIGN.md §9), animate a
-    // peer lifecycle (§10), or route content (§11).
+    // peer lifecycle (§10), route content (§11), or vary over time (§14).
     std::cout << "  " << spec.name << (spec.network ? "  [conditions]" : "")
               << (spec.churn ? "  [churn]" : "")
-              << (spec.content ? "  [content]" : "") << "\n      "
+              << (spec.content ? "  [content]" : "")
+              << (spec.phases ? "  [phases]" : "") << "\n      "
               << spec.description << "\n";
   }
   const std::string dir = args.empty() ? "scenarios" : args[0];
@@ -248,68 +282,57 @@ int cmd_run(const std::vector<std::string>& args) {
   bool quiet = false;
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string& arg = args[i];
-    const bool has_value = i + 1 < args.size();
     if (arg == "--quiet") {
       quiet = true;
-    } else if (arg == "--out" && has_value) {
-      out_path = args[++i];
-    } else if (arg == "--workers" && has_value) {
-      std::uint32_t workers = 0;
-      if (!parse_number(args[++i], workers)) {
-        std::cerr << "ipfs_sim run: --workers expects an integer\n";
-        return 2;
-      }
-      workers_override = workers;
-    } else if (arg == "--trials" && has_value) {
-      std::uint32_t trials = 0;
-      if (!parse_number(args[++i], trials)) {
-        std::cerr << "ipfs_sim run: --trials expects an integer\n";
-        return 2;
-      }
-      trials_override = trials;
-    } else if (arg == "--seed" && has_value) {
-      std::uint64_t seed = 0;
-      if (!parse_number(args[++i], seed)) {
-        std::cerr << "ipfs_sim run: --seed expects an integer\n";
-        return 2;
-      }
-      seed_override = seed;
-    } else if (arg == "--scale" && has_value) {
-      double scale = 0.0;
-      if (!parse_double(args[++i], scale)) {
-        std::cerr << "ipfs_sim run: --scale expects a number\n";
-        return 2;
-      }
-      scale_override = scale;
-    } else if (arg == "--duration" && has_value) {
-      double seconds = 0.0;
-      if (!parse_double(args[++i], seconds) || seconds <= 0.0) {
-        std::cerr << "ipfs_sim run: --duration expects seconds > 0\n";
-        return 2;
-      }
-      duration_override = seconds;
-    } else if (arg == "--shards" && has_value) {
-      std::uint32_t count = 0;
-      if (!parse_number(args[++i], count)) {
-        std::cerr << "ipfs_sim run: --shards expects an integer\n";
-        return 2;
-      }
-      shards = count;
-    } else if (arg == "--shard-workers" && has_value) {
-      if (!parse_number(args[++i], shard_workers)) {
-        std::cerr << "ipfs_sim run: --shard-workers expects an integer\n";
-        return 2;
-      }
-    } else if (arg == "--slab" && has_value) {
-      double seconds = 0.0;
-      if (!parse_double(args[++i], seconds) || seconds <= 0.0) {
-        std::cerr << "ipfs_sim run: --slab expects seconds > 0\n";
-        return 2;
-      }
-      slab_seconds = seconds;
-    } else {
+      continue;
+    }
+    const bool takes_value =
+        arg == "--out" || arg == "--workers" || arg == "--trials" ||
+        arg == "--seed" || arg == "--scale" || arg == "--duration" ||
+        arg == "--shards" || arg == "--shard-workers" || arg == "--slab";
+    if (!takes_value) {
       std::cerr << "ipfs_sim run: unknown option '" << arg << "'\n";
       return 2;
+    }
+    if (i + 1 >= args.size()) {
+      // A flag at the end of the line used to fall through to "unknown
+      // option"; name the real problem.
+      std::cerr << "ipfs_sim run: " << arg << ": missing value\n";
+      return 2;
+    }
+    const std::string& value = args[++i];
+    if (arg == "--out") {
+      out_path = value;
+    } else if (arg == "--workers") {
+      std::uint32_t workers = 0;
+      if (!option_u32(arg, value, workers)) return 2;
+      workers_override = workers;
+    } else if (arg == "--trials") {
+      std::uint32_t trials = 0;
+      if (!option_u32(arg, value, trials)) return 2;
+      trials_override = trials;
+    } else if (arg == "--seed") {
+      std::uint64_t seed = 0;
+      if (!option_u64(arg, value, seed)) return 2;
+      seed_override = seed;
+    } else if (arg == "--scale") {
+      double scale = 0.0;
+      if (!option_positive(arg, value, scale)) return 2;
+      scale_override = scale;
+    } else if (arg == "--duration") {
+      double seconds = 0.0;
+      if (!option_positive(arg, value, seconds)) return 2;
+      duration_override = seconds;
+    } else if (arg == "--shards") {
+      std::uint32_t count = 0;
+      if (!option_u32(arg, value, count)) return 2;
+      shards = count;
+    } else if (arg == "--shard-workers") {
+      if (!option_u32(arg, value, shard_workers)) return 2;
+    } else {  // --slab
+      double seconds = 0.0;
+      if (!option_positive(arg, value, seconds)) return 2;
+      slab_seconds = seconds;
     }
   }
   if ((shard_workers != 0 || slab_seconds) && !shards) {
