@@ -7,11 +7,11 @@
 // CDF, and observed-vs-true network size.
 //
 //   ./examples/churn_study [scale]     (default scale 0.1)
-#include <cstdlib>
 #include <iostream>
 
 #include "analysis/churn_stats.hpp"
 #include "analysis/connection_stats.hpp"
+#include "common/parse.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "scenario/campaign.hpp"
@@ -41,7 +41,20 @@ scenario::CampaignResult run(double scale, int low, int high) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const double scale = argc > 1 ? std::atof(argv[1]) : 0.1;
+  double scale = 0.1;
+  if (argc > 1) {
+    const auto parsed = common::parse_finite_double(argv[1]);
+    if (!parsed) {
+      std::cerr << "churn_study: scale: " << parsed.error() << "\n";
+      return 2;
+    }
+    if (*parsed <= 0.0) {
+      std::cerr << "churn_study: scale: must be > 0, got '" << argv[1]
+                << "'\n";
+      return 2;
+    }
+    scale = *parsed;
+  }
   // Scale the paper's default 600/900 watermarks with the population.
   const int low = std::max(4, static_cast<int>(600 * scale));
   const int high = std::max(6, static_cast<int>(900 * scale));

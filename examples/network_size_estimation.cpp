@@ -4,18 +4,31 @@
 // counts overestimate the network.
 //
 //   ./examples/network_size_estimation [scale]     (default scale 0.1)
-#include <cstdlib>
 #include <iostream>
 
 #include "analysis/classification.hpp"
 #include "analysis/size_estimation.hpp"
+#include "common/parse.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "scenario/campaign.hpp"
 
 int main(int argc, char** argv) {
   using namespace ipfs;
-  const double scale = argc > 1 ? std::atof(argv[1]) : 0.1;
+  double scale = 0.1;
+  if (argc > 1) {
+    const auto parsed = common::parse_finite_double(argv[1]);
+    if (!parsed) {
+      std::cerr << "network_size_estimation: scale: " << parsed.error() << "\n";
+      return 2;
+    }
+    if (*parsed <= 0.0) {
+      std::cerr << "network_size_estimation: scale: must be > 0, got '"
+                << argv[1] << "'\n";
+      return 2;
+    }
+    scale = *parsed;
+  }
 
   scenario::CampaignConfig config;
   config.period = scenario::PeriodSpec::P4();

@@ -4,18 +4,24 @@
 // and stream the go-ipfs dataset to JSON as it is published — the same
 // artefact the paper's instrumented clients produced.
 //
-//   ./examples/passive_measurement [scale] [out.json]
+//   ./examples/passive_measurement [scale] [out.json] [--connections] [--churn]
 //
 // Defaults: scale 0.1, dataset written to passive_measurement.json.
+// --connections includes the per-connection log in the export (the input
+// `ipfs_sim calibrate` needs for gap-threshold session reconstruction);
+// --churn animates the population with the default session-churn model so
+// the trace contains genuine join/leave dynamics to calibrate against.
 //
 // This example shows the sink-based campaign API: a JSON export sink and
 // the in-memory result sink both subscribe to one run through a fan-out.
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "analysis/connection_stats.hpp"
 #include "analysis/metadata.hpp"
+#include "common/parse.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "scenario/campaign.hpp"
@@ -23,13 +29,46 @@
 int main(int argc, char** argv) {
   using namespace ipfs;
 
-  const double scale = argc > 1 ? std::atof(argv[1]) : 0.1;
-  const std::string out_path = argc > 2 ? argv[2] : "passive_measurement.json";
+  double scale = 0.1;
+  std::string out_path = "passive_measurement.json";
+  bool include_connections = false;
+  bool with_churn = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--connections") {
+      include_connections = true;
+    } else if (arg == "--churn") {
+      with_churn = true;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (!positional.empty()) {
+    const auto parsed = common::parse_finite_double(positional[0]);
+    if (!parsed) {
+      std::cerr << "passive_measurement: scale: " << parsed.error() << "\n";
+      return 2;
+    }
+    if (*parsed <= 0.0) {
+      std::cerr << "passive_measurement: scale: must be > 0, got '"
+                << positional[0] << "'\n";
+      return 2;
+    }
+    scale = *parsed;
+  }
+  if (positional.size() > 1) out_path = positional[1];
+  if (positional.size() > 2) {
+    std::cerr << "passive_measurement: unexpected argument '" << positional[2]
+              << "'\n";
+    return 2;
+  }
 
   scenario::CampaignConfig config;
   config.period = scenario::PeriodSpec::P2();
   config.population = scenario::PopulationSpec::test_scale(scale);
   config.seed = 20211213;
+  if (with_churn) config.churn = scenario::ChurnSpec{};
 
   auto engine = scenario::CampaignEngine::create(config);
   if (!engine) {
@@ -45,11 +84,12 @@ int main(int argc, char** argv) {
 
   std::cout << "Running period " << config.period.name << " ("
             << common::format_duration(config.period.duration) << ", scale " << scale
-            << ") ...\n";
+            << (with_churn ? ", churned" : "") << ") ...\n";
 
-  // Peer records only: the connection log would dominate the file.
+  // Peer records only by default: the connection log would dominate the
+  // file.  --connections keeps it (calibration input).
   measure::JsonExportSink::Options json_options;
-  json_options.include_connections = false;
+  json_options.include_connections = include_connections;
   json_options.role_filter = measure::DatasetRole::kVantage;
   measure::JsonExportSink json_sink(out, json_options);
   scenario::CampaignResultSink result_sink;

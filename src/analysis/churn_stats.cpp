@@ -10,6 +10,16 @@ using common::SimTime;
 std::vector<SessionTrace> reconstruct_sessions(const measure::Dataset& dataset,
                                                SimDuration max_gap) {
   std::vector<SessionTrace> sessions;
+  // A session whose last contact is within `max_gap` of trace end is
+  // right-censored: had the trace run longer, the same peer might have
+  // reconnected and extended it.  Hand-built datasets without a real
+  // measurement window (end <= start) never censor.
+  const bool has_window = dataset.measurement_end > dataset.measurement_start;
+  auto finish = [&](SessionTrace session) {
+    session.censored =
+        has_window && session.end + max_gap > dataset.measurement_end;
+    sessions.push_back(session);
+  };
   const auto& by_peer = dataset.connections_by_peer();
   for (measure::PeerIndex peer = 0; peer < by_peer.size(); ++peer) {
     const std::vector<std::uint32_t>& conn_ids = by_peer[peer];
@@ -34,13 +44,13 @@ std::vector<SessionTrace> reconstruct_sessions(const measure::Dataset& dataset,
         current.end = std::max(current.end, closed);
         ++current.connections;
       } else {
-        sessions.push_back(current);
+        finish(current);
         current.begin = opened;
         current.end = closed;
         current.connections = 1;
       }
     }
-    sessions.push_back(current);
+    finish(current);
   }
   return sessions;
 }
@@ -59,7 +69,11 @@ ChurnStats compute_churn_stats(const std::vector<SessionTrace>& sessions) {
     if (run_length >= 2) ++stats.multi_session_peers;
   };
   for (const SessionTrace& session : sessions) {
-    lengths_s.push_back(static_cast<double>(session.length()) / 1000.0);
+    if (session.censored) {
+      ++stats.censored_sessions;
+    } else {
+      lengths_s.push_back(static_cast<double>(session.length()) / 1000.0);
+    }
     if (run_length == 0 || session.peer != run_peer) {
       close_run();
       run_peer = session.peer;

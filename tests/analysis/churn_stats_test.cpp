@@ -82,6 +82,50 @@ TEST(ChurnStats, SummaryCountsPeersAndMultiSessionPeers) {
               1e-9);
 }
 
+TEST(ChurnStats, SessionsOpenAtTraceEndAreCensored) {
+  // Same two peers, but with a real measurement window that closes 10
+  // minutes after peer 0's last contact — inside the 30 min gap
+  // threshold, so that final session could still have been open.
+  measure::Dataset dataset = two_peer_dataset();
+  dataset.measurement_start = 0;
+  dataset.measurement_end = 160 * kMinute;
+  const auto sessions = reconstruct_sessions(dataset, 30 * kMinute);
+  ASSERT_EQ(sessions.size(), 3u);
+  EXPECT_FALSE(sessions[0].censored);  // [0, 20 min]: gap closed at 50 min
+  EXPECT_TRUE(sessions[1].censored);   // [140, 150 min]: 150 + 30 > 160
+  EXPECT_FALSE(sessions[2].censored);  // [5, 60 min]: gap closed at 90 min
+}
+
+TEST(ChurnStats, CensoredSessionsExcludedFromLengthStats) {
+  measure::Dataset dataset = two_peer_dataset();
+  dataset.measurement_start = 0;
+  dataset.measurement_end = 160 * kMinute;
+  const auto sessions = reconstruct_sessions(dataset, 30 * kMinute);
+  const ChurnStats stats = compute_churn_stats(sessions);
+  EXPECT_EQ(stats.session_count, 3u);
+  EXPECT_EQ(stats.censored_sessions, 1u);
+  EXPECT_EQ(stats.completed_sessions(), 2u);
+  EXPECT_EQ(stats.peers, 2u);
+  EXPECT_EQ(stats.multi_session_peers, 1u);
+  // Completed lengths: 20 and 55 minutes; the censored 10 min tail
+  // observation must not drag the statistics down.
+  EXPECT_EQ(stats.session_length_cdf.size(), 2u);
+  EXPECT_NEAR(stats.mean_session_s, (20.0 + 55.0) * 60.0 / 2.0, 1e-9);
+  EXPECT_NEAR(stats.median_session_s, (20.0 + 55.0) * 60.0 / 2.0, 1e-9);
+  EXPECT_NEAR(stats.session_length_cdf.fraction_at_most(10.0 * 60.0), 0.0,
+              1e-9);
+}
+
+TEST(ChurnStats, NoMeasurementWindowMeansNoCensoring) {
+  // Hand-built datasets leave measurement_end at 0; the censoring rule
+  // must not fire without a real window or every session would censor.
+  const auto sessions = reconstruct_sessions(two_peer_dataset(), 30 * kMinute);
+  for (const SessionTrace& session : sessions) {
+    EXPECT_FALSE(session.censored);
+  }
+  EXPECT_EQ(compute_churn_stats(sessions).censored_sessions, 0u);
+}
+
 TEST(ChurnStats, EmptyDatasetYieldsEmptyStats) {
   const ChurnStats stats = compute_churn_stats({});
   EXPECT_EQ(stats.session_count, 0u);

@@ -40,9 +40,11 @@
 #include <iostream>
 #include <limits>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/calibration.hpp"
 #include "common/parse.hpp"
 #include "measure/sink.hpp"
 #include "runtime/parallel.hpp"
@@ -72,6 +74,14 @@ int usage(std::ostream& out, int code) {
          "      --slab SECONDS --quiet\n"
          "  export NAME|--all [--dir DIR | --out FILE]\n"
          "                           write builtin spec(s) as JSON\n"
+         "  calibrate TRACE [options]\n"
+         "                           fit churn distributions to a measured\n"
+         "                           trace and emit a calibrated scenario\n"
+         "      --out FILE           scenario destination (default: stdout)\n"
+         "      --report FILE        write the JSON fit report there\n"
+         "      --gap SECONDS        session gap threshold (default 1800)\n"
+         "      --name NAME          emitted scenario name (default calibrated)\n"
+         "      --seed S --verify-scale X --ks-threshold D --no-verify --quiet\n"
          "  selftest                 run a tiny testbed experiment\n";
   return code;
 }
@@ -513,6 +523,125 @@ int cmd_export(const std::vector<std::string>& args) {
   return 0;
 }
 
+// ---- calibrate --------------------------------------------------------------
+
+int cmd_calibrate(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::cerr << "ipfs_sim calibrate: missing TRACE argument\n";
+    return 2;
+  }
+  const std::string& trace_path = args[0];
+  std::optional<std::string> out_path;
+  std::optional<std::string> report_path;
+  ipfs::analysis::calibrate::Options options;
+  bool quiet = false;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--quiet") {
+      quiet = true;
+      continue;
+    }
+    if (arg == "--no-verify") {
+      options.verify = false;
+      continue;
+    }
+    const bool takes_value = arg == "--out" || arg == "--report" ||
+                             arg == "--gap" || arg == "--name" ||
+                             arg == "--seed" || arg == "--verify-scale" ||
+                             arg == "--ks-threshold";
+    if (!takes_value) {
+      std::cerr << "ipfs_sim calibrate: unknown option '" << arg << "'\n";
+      return 2;
+    }
+    if (i + 1 >= args.size()) {
+      std::cerr << "ipfs_sim calibrate: " << arg << ": missing value\n";
+      return 2;
+    }
+    const std::string& value = args[++i];
+    if (arg == "--out") {
+      out_path = value;
+    } else if (arg == "--report") {
+      report_path = value;
+    } else if (arg == "--name") {
+      options.name = value;
+    } else if (arg == "--seed") {
+      if (!option_u64(arg, value, options.seed)) return 2;
+    } else if (arg == "--gap") {
+      double gap_seconds = 0.0;
+      if (!option_positive(arg, value, gap_seconds)) return 2;
+      options.max_gap = static_cast<ipfs::common::SimDuration>(
+          gap_seconds * ipfs::common::kSecond);
+    } else if (arg == "--verify-scale") {
+      if (!option_positive(arg, value, options.verify_scale)) return 2;
+    } else if (arg == "--ks-threshold") {
+      if (!option_positive(arg, value, options.ks_threshold)) return 2;
+    }
+  }
+
+  std::ifstream in(trace_path, std::ios::binary);
+  if (!in) {
+    std::cerr << "ipfs_sim calibrate: cannot read " << trace_path << "\n";
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string trace_text = buffer.str();
+
+  const auto result = ipfs::analysis::calibrate::run(trace_text, options);
+  if (!result) {
+    std::cerr << "ipfs_sim calibrate: " << trace_path << ": " << result.error()
+              << "\n";
+    return 2;
+  }
+
+  if (!quiet) {
+    const auto& measured = result->measured;
+    std::cerr << "== calibrate " << trace_path << " (vantage '"
+              << result->trace.vantage << "')\n"
+              << "   " << result->trace.peer_count() << " peers, "
+              << result->trace.connection_count() << " connections -> "
+              << measured.session_count << " sessions ("
+              << measured.censored_sessions << " censored)\n";
+    for (const auto& [name, group] : result->groups) {
+      std::cerr << "   " << name << ": session="
+                << (group.session.any_ok() ? group.session.selected : "none")
+                << " gap="
+                << (group.gap.any_ok() ? group.gap.selected : "none") << "\n";
+    }
+    if (result->loop.ran) {
+      std::cerr << "   closed loop: " << result->loop.simulated_sessions
+                << " re-simulated sessions, KS " << result->loop.ks
+                << " (threshold " << result->loop.threshold << ") -> "
+                << (result->loop.pass ? "pass" : "FAIL") << "\n";
+    }
+  }
+
+  if (out_path) {
+    std::ofstream out(*out_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "ipfs_sim calibrate: cannot write " << *out_path << "\n";
+      return 1;
+    }
+    out << result->scenario.to_json_string();
+  } else {
+    std::cout << result->scenario.to_json_string();
+  }
+  if (report_path) {
+    std::ofstream report(*report_path, std::ios::binary);
+    if (!report) {
+      std::cerr << "ipfs_sim calibrate: cannot write " << *report_path << "\n";
+      return 1;
+    }
+    report << result->report_json();
+  }
+  if (result->loop.ran && !result->loop.pass) {
+    std::cerr << "ipfs_sim calibrate: closed-loop KS " << result->loop.ks
+              << " exceeds threshold " << result->loop.threshold << "\n";
+    return 1;
+  }
+  return 0;
+}
+
 // ---- selftest ---------------------------------------------------------------
 
 int cmd_selftest() {
@@ -553,6 +682,7 @@ int main(int argc, char** argv) {
   if (command == "validate") return cmd_validate(args);
   if (command == "run") return cmd_run(args);
   if (command == "export") return cmd_export(args);
+  if (command == "calibrate") return cmd_calibrate(args);
   if (command == "selftest") return cmd_selftest();
   std::cerr << "ipfs_sim: unknown command '" << command << "'\n";
   return usage(std::cerr, 2);
